@@ -1,0 +1,200 @@
+// Command declusterbench regenerates the paper's evaluation figures: for
+// each figure of Section 7 it sweeps the multiprogramming level over the
+// MAGIC, BERD and range declustering strategies on the simulated Gamma
+// machine and prints the throughput series (and, with -detail, per-point
+// diagnostics).
+//
+// Usage:
+//
+//	declusterbench [flags]
+//
+//	-fig 8a,8b,...   figures to run (default: all; "none" skips figures)
+//	-scale paper     "paper" (100k tuples, MPL 1..64) or "quick"
+//	-card N          override relation cardinality
+//	-procs N         override processor count
+//	-mpl 1,8,64      override the MPL sweep
+//	-measure N       override queries measured per point
+//	-warmup N        override warm-up queries per point
+//	-seed N          experiment seed
+//	-detail          print per-point diagnostics
+//	-csv             emit CSV instead of aligned tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		figList   = flag.String("fig", "", "comma-separated figure ids (default: all)")
+		scale     = flag.String("scale", "paper", `"paper" or "quick"`)
+		card      = flag.Int("card", 0, "relation cardinality override")
+		procs     = flag.Int("procs", 0, "processor count override")
+		mplList   = flag.String("mpl", "", "comma-separated MPL sweep override")
+		measure   = flag.Int("measure", 0, "measured queries per point override")
+		warmup    = flag.Int("warmup", 0, "warm-up queries per point override")
+		seed      = flag.Int64("seed", 0, "experiment seed override")
+		detail    = flag.Bool("detail", false, "print per-point diagnostics")
+		plot      = flag.Bool("plot", false, "draw each figure as an ASCII chart")
+		jsonOut   = flag.String("json", "", "write results to a JSON archive")
+		compare   = flag.String("compare", "", "compare against a previous JSON archive")
+		tolerance = flag.Float64("tolerance", 0.05, "relative drift threshold for -compare")
+		csv       = flag.Bool("csv", false, "emit CSV")
+		scaleout  = flag.Bool("scaleout", false, "run the machine-size sweep too")
+	)
+	flag.Parse()
+
+	opts, err := buildOptions(*scale, *card, *procs, *mplList, *measure, *warmup, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	figs, err := selectFigures(*figList)
+	if err != nil {
+		fatal(err)
+	}
+
+	archive := experiments.Archive{Label: "declusterbench", Options: opts}
+	for _, fig := range figs {
+		fmt.Fprintf(os.Stderr, "running figure %s (%s)...\n", fig.ID, fig.Title)
+		res, err := experiments.Run(fig, opts)
+		if err != nil {
+			fatal(err)
+		}
+		archive.Figures = append(archive.Figures, res.Archive())
+		if *csv {
+			fmt.Print(res.Table().CSV())
+		} else {
+			fmt.Println(res.Table().String())
+		}
+		for _, n := range res.Notes {
+			fmt.Printf("  %s\n", n)
+		}
+		if *plot {
+			fmt.Println()
+			fmt.Println(res.Chart().String())
+		}
+		if *detail {
+			if *csv {
+				fmt.Print(res.DetailTable().CSV())
+			} else {
+				fmt.Println(res.DetailTable().String())
+			}
+		}
+		fmt.Println()
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := experiments.WriteArchive(f, archive); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+	}
+	if *compare != "" {
+		f, err := os.Open(*compare)
+		if err != nil {
+			fatal(err)
+		}
+		baseline, err := experiments.ReadArchive(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		diffs := experiments.CompareArchives(baseline, archive, *tolerance)
+		if len(diffs) == 0 {
+			fmt.Printf("no throughput drifts beyond %.0f%% versus %s\n", *tolerance*100, *compare)
+		} else {
+			fmt.Printf("throughput drifts beyond %.0f%% versus %s:\n", *tolerance*100, *compare)
+			for _, d := range diffs {
+				fmt.Println("  " + d)
+			}
+		}
+	}
+
+	if *scaleout {
+		fmt.Fprintln(os.Stderr, "running scale-out sweep...")
+		res, err := experiments.RunScaleSweep(experiments.DefaultScaleSweep(), opts)
+		if err != nil {
+			fatal(err)
+		}
+		if *csv {
+			fmt.Print(res.Table().CSV())
+		} else {
+			fmt.Println(res.Table().String())
+		}
+	}
+}
+
+func buildOptions(scale string, card, procs int, mplList string, measure, warmup int, seed int64) (experiments.Options, error) {
+	var opts experiments.Options
+	switch scale {
+	case "paper":
+		opts = experiments.PaperScale()
+	case "quick":
+		opts = experiments.QuickScale()
+	default:
+		return opts, fmt.Errorf("unknown -scale %q (want paper or quick)", scale)
+	}
+	if card > 0 {
+		opts.Cardinality = card
+	}
+	if procs > 0 {
+		opts.Processors = procs
+	}
+	if measure > 0 {
+		opts.MeasureQueries = measure
+	}
+	if warmup > 0 {
+		opts.WarmupQueries = warmup
+	}
+	if seed != 0 {
+		opts.Seed = seed
+	}
+	if mplList != "" {
+		var mpls []int
+		for _, s := range strings.Split(mplList, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || v <= 0 {
+				return opts, fmt.Errorf("bad MPL %q", s)
+			}
+			mpls = append(mpls, v)
+		}
+		opts.MPLs = mpls
+	}
+	return opts, nil
+}
+
+func selectFigures(list string) ([]experiments.Figure, error) {
+	if list == "" {
+		return experiments.Figures(), nil
+	}
+	if list == "none" {
+		return nil, nil
+	}
+	var out []experiments.Figure
+	for _, id := range strings.Split(list, ",") {
+		fig, err := experiments.FigureByID(strings.TrimSpace(id))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fig)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "declusterbench:", err)
+	os.Exit(1)
+}

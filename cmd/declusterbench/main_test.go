@@ -1,0 +1,57 @@
+package main
+
+import "testing"
+
+func TestBuildOptions(t *testing.T) {
+	opts, err := buildOptions("quick", 0, 0, "", 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Cardinality != 20000 {
+		t.Fatalf("quick cardinality = %d", opts.Cardinality)
+	}
+	opts, err = buildOptions("paper", 5000, 16, "1,4,8", 100, 10, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Cardinality != 5000 || opts.Processors != 16 ||
+		opts.MeasureQueries != 100 || opts.WarmupQueries != 10 || opts.Seed != 9 {
+		t.Fatalf("overrides not applied: %+v", opts)
+	}
+	if len(opts.MPLs) != 3 || opts.MPLs[2] != 8 {
+		t.Fatalf("MPLs = %v", opts.MPLs)
+	}
+}
+
+func TestBuildOptionsErrors(t *testing.T) {
+	if _, err := buildOptions("warp", 0, 0, "", 0, 0, 0); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	if _, err := buildOptions("quick", 0, 0, "1,zero", 0, 0, 0); err == nil {
+		t.Error("bad MPL accepted")
+	}
+	if _, err := buildOptions("quick", 0, 0, "0", 0, 0, 0); err == nil {
+		t.Error("non-positive MPL accepted")
+	}
+}
+
+func TestSelectFigures(t *testing.T) {
+	all, err := selectFigures("")
+	if err != nil || len(all) != 9 {
+		t.Fatalf("all figures: %d, %v", len(all), err)
+	}
+	some, err := selectFigures("8a, 12b")
+	if err != nil || len(some) != 2 || some[1].ID != "12b" {
+		t.Fatalf("subset: %v, %v", some, err)
+	}
+	if _, err := selectFigures("99x"); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestSelectFiguresNone(t *testing.T) {
+	figs, err := selectFigures("none")
+	if err != nil || len(figs) != 0 {
+		t.Fatalf("none: %v, %v", figs, err)
+	}
+}

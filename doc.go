@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of "A Performance
+// Analysis of Alternative Multi-Attribute Declustering Strategies"
+// (Ghandeharizadeh, DeWitt, Qureshi; SIGMOD 1992).
+//
+// The library lives under internal/: the MAGIC, BERD, range and hash
+// declustering strategies (internal/core), the process-oriented
+// discrete-event simulation kernel (internal/sim), the Gamma machine model
+// (internal/hw, internal/gamma), the storage engine with B+-trees and a
+// grid file (internal/storage, internal/btree, internal/gridfile), the
+// Section 6 workload (internal/workload) and the per-figure experiments
+// (internal/experiments). The root package holds the benchmark harness
+// (bench_test.go) that regenerates every figure of the paper's evaluation;
+// see README.md, DESIGN.md and EXPERIMENTS.md.
+package repro

@@ -1,0 +1,113 @@
+// Planner is a what-if exploration of MAGIC's design-time model (Sections
+// 3.2–3.3): it shows how the ideal degree of parallelism M, the fragment
+// cardinality FC, the per-attribute Mi values and the resulting directory
+// shape respond to the workload mix and to the Cost of Participation — the
+// trade-off Equation 1 captures between spreading work and paying
+// per-processor overhead.
+//
+// Run with:
+//
+//	go run ./examples/planner
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/gamma"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+const (
+	card       = 100000
+	processors = 32
+)
+
+func main() {
+	cfg := gamma.DefaultConfig()
+
+	// 1. The four mixes of the paper: how the plan changes with the
+	//    workload's resource intensity.
+	fmt.Println("== Plans across the paper's four query mixes ==")
+	tb := stats.NewTable("", "mix", "QAve tuples", "M", "FC", "Mi[A]", "Mi[B]", "split A:B")
+	mixes := []workload.Mix{
+		workload.LowLow(card),
+		workload.LowModerate(card),
+		workload.ModerateLow(card),
+		workload.ModerateModerate(card),
+	}
+	for _, mix := range mixes {
+		plan := mustPlan(mix, cfg, 1.7)
+		tb.AddRow(mix.Name,
+			fmt.Sprintf("%.1f", plan.TuplesPerQAve),
+			fmt.Sprintf("%.2f", plan.M),
+			plan.FC,
+			fmt.Sprintf("%.1f", plan.Mi[storage.Unique1]),
+			fmt.Sprintf("%.1f", plan.Mi[storage.Unique2]),
+			fmt.Sprintf("%.1f", plan.SplitWeights[storage.Unique1]/plan.SplitWeights[storage.Unique2]))
+	}
+	fmt.Println(tb.String())
+
+	// 2. Sensitivity to the Cost of Participation: a cheap scheduling
+	//    protocol favours wide parallelism; an expensive one localizes.
+	fmt.Println("== M and Mi versus the Cost of Participation (low-moderate mix) ==")
+	mix := workload.LowModerate(card)
+	cp := stats.NewTable("", "CP (ms)", "M", "modeled RT at M (ms)", "Mi[A]", "Mi[B]")
+	for _, cpms := range []float64{0.25, 0.5, 1.0, 1.7, 3.0, 6.0} {
+		plan := mustPlan(mix, cfg, cpms)
+		pp := workload.PlanParamsFor(card, processors, cfg.Costs)
+		pp.CPms = cpms
+		rt := core.ResponseTime(plan.M, plan.TuplesPerQAve,
+			plan.CPUAveMS, plan.DiskAveMS, plan.NetAveMS, pp)
+		cp.AddRow(cpms,
+			fmt.Sprintf("%.2f", plan.M),
+			fmt.Sprintf("%.1f", rt),
+			fmt.Sprintf("%.1f", plan.Mi[storage.Unique1]),
+			fmt.Sprintf("%.1f", plan.Mi[storage.Unique2]))
+	}
+	fmt.Println(cp.String())
+
+	// 3. What the constructed directory actually looks like for one plan.
+	fmt.Println("== Constructed directory for the moderate-moderate mix ==")
+	rel := storage.GenerateWisconsin(storage.GenSpec{Cardinality: card, Seed: 1})
+	mm := workload.ModerateModerate(card)
+	specs := workload.EstimateSpecs(mm, card, cfg.HW, cfg.Costs)
+	pp := workload.PlanParamsFor(card, processors, cfg.Costs)
+	magic, err := core.BuildMAGIC(rel, []int{storage.Unique1, storage.Unique2}, specs, pp, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dims := magic.Dims()
+	min, max, mean := core.LoadSpread(magic.Owners(), magic.CellCounts(), processors)
+	fmt.Printf("directory %dx%d (%d entries), tuples/processor min=%d max=%d mean=%.0f\n",
+		dims[0], dims[1], magic.Grid().NumCells(), min, max, mean)
+	for _, cls := range mm.Classes {
+		pred := core.Predicate{Attr: cls.Attr, Lo: card / 2, Hi: card/2 + int64(cls.Tuples) - 1}
+		route := magic.Route(pred)
+		fmt.Printf("%-12s -> %2d processors (%d directory entries searched)\n",
+			cls.Name, len(route.Participants), route.EntriesSearched)
+	}
+
+	// 4. The conjunctive extension: predicates on both partitioning
+	//    attributes intersect to a handful of cells.
+	both := magic.RouteConjunct([]core.Predicate{
+		{Attr: storage.Unique1, Lo: 40000, Hi: 45000},
+		{Attr: storage.Unique2, Lo: 60000, Hi: 61000},
+	})
+	fmt.Printf("conjunction on A and B -> %d processors (%d entries searched)\n",
+		len(both.Participants), both.EntriesSearched)
+}
+
+func mustPlan(mix workload.Mix, cfg gamma.Config, cpms float64) core.Plan {
+	specs := workload.EstimateSpecs(mix, card, cfg.HW, cfg.Costs)
+	pp := workload.PlanParamsFor(card, processors, cfg.Costs)
+	pp.CPms = cpms
+	plan, err := core.ComputePlan(specs, pp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return plan
+}

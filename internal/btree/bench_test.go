@@ -1,0 +1,56 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchTree(n int) *Tree {
+	tr := New(400, 400, counter())
+	entries := make([]Entry, n)
+	for i := range entries {
+		entries[i] = Entry{Key: int64(i), Val: int64(i)}
+	}
+	tr.Bulk(entries)
+	return tr
+}
+
+func BenchmarkBulkLoad100k(b *testing.B) {
+	entries := make([]Entry, 100000)
+	for i := range entries {
+		entries[i] = Entry{Key: int64(i), Val: int64(i)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := New(400, 400, counter())
+		tr.Bulk(entries)
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	tr := benchTree(100000)
+	r := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Search(int64(r.Intn(100000)))
+	}
+}
+
+func BenchmarkRange300(b *testing.B) {
+	tr := benchTree(100000)
+	r := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := int64(r.Intn(99000))
+		tr.Range(lo, lo+299)
+	}
+}
+
+func BenchmarkInsertRandom(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	tr := New(400, 400, counter())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(Entry{Key: int64(r.Intn(1 << 30)), Val: int64(i)})
+	}
+}

@@ -1,0 +1,333 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// counter returns a page allocator handing out 0, 1, 2, ...
+func counter() func() int {
+	n := 0
+	return func() int {
+		n++
+		return n - 1
+	}
+}
+
+func bulkTree(t *testing.T, fanout, leafCap int, entries []Entry) *Tree {
+	t.Helper()
+	tr := New(fanout, leafCap, counter())
+	tr.Bulk(entries)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("invalid tree after Bulk: %v", err)
+	}
+	return tr
+}
+
+func seqEntries(n int) []Entry {
+	out := make([]Entry, n)
+	for i := range out {
+		out[i] = Entry{Key: int64(i), Val: int64(i * 10)}
+	}
+	return out
+}
+
+func TestBulkAndSearch(t *testing.T) {
+	tr := bulkTree(t, 5, 4, seqEntries(1000))
+	if tr.Len() != 1000 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	for _, k := range []int64{0, 1, 499, 998, 999} {
+		vals, path := tr.Search(k)
+		if len(vals) != 1 || vals[0] != k*10 {
+			t.Fatalf("Search(%d) = %v", k, vals)
+		}
+		if len(path.Interior) != tr.Height()-1 {
+			t.Fatalf("Search(%d) visited %d interior pages, height %d",
+				k, len(path.Interior), tr.Height())
+		}
+		if len(path.Leaves) < 1 || len(path.Leaves) > 2 {
+			t.Fatalf("Search(%d) visited %d leaves", k, len(path.Leaves))
+		}
+	}
+}
+
+func TestSearchMissingKey(t *testing.T) {
+	tr := bulkTree(t, 5, 4, seqEntries(100))
+	vals, path := tr.Search(5000)
+	if len(vals) != 0 {
+		t.Fatalf("missing key returned %v", vals)
+	}
+	if len(path.Pages()) == 0 {
+		t.Fatal("even a miss must touch pages")
+	}
+}
+
+func TestRangeInclusive(t *testing.T) {
+	tr := bulkTree(t, 5, 4, seqEntries(100))
+	vals, _ := tr.Range(10, 19)
+	if len(vals) != 10 {
+		t.Fatalf("range [10,19] returned %d values", len(vals))
+	}
+	for i, v := range vals {
+		if v != int64((10+i)*10) {
+			t.Fatalf("vals = %v", vals)
+		}
+	}
+}
+
+func TestRangeSpanningLeaves(t *testing.T) {
+	tr := bulkTree(t, 4, 4, seqEntries(64))
+	vals, path := tr.Range(0, 63)
+	if len(vals) != 64 {
+		t.Fatalf("full range returned %d", len(vals))
+	}
+	if len(path.Leaves) != 16 {
+		t.Fatalf("full range should touch all 16 leaves, got %d", len(path.Leaves))
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(4, 4, counter())
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	vals, path := tr.Search(1)
+	if len(vals) != 0 || len(path.Leaves) != 1 {
+		t.Fatalf("empty tree search: vals=%v leaves=%v", vals, path.Leaves)
+	}
+	if tr.Height() != 1 || tr.Pages() != 1 {
+		t.Fatalf("empty tree height=%d pages=%d", tr.Height(), tr.Pages())
+	}
+}
+
+func TestBulkEmptySlice(t *testing.T) {
+	tr := New(4, 4, counter())
+	tr.Bulk(nil)
+	if tr.Len() != 0 {
+		t.Fatal("Bulk(nil) should leave tree empty")
+	}
+}
+
+func TestBulkUnsortedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted Bulk did not panic")
+		}
+	}()
+	New(4, 4, counter()).Bulk([]Entry{{Key: 2}, {Key: 1}})
+}
+
+func TestBulkTwicePanics(t *testing.T) {
+	tr := New(4, 4, counter())
+	tr.Bulk(seqEntries(10))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Bulk did not panic")
+		}
+	}()
+	tr.Bulk(seqEntries(10))
+}
+
+func TestDuplicateKeysAcrossLeaves(t *testing.T) {
+	// Many duplicates force equal keys to span leaf boundaries and become
+	// separator keys; Search must still find every one.
+	var entries []Entry
+	for i := 0; i < 50; i++ {
+		entries = append(entries, Entry{Key: 7, Val: int64(i)})
+	}
+	tr := bulkTree(t, 4, 4, entries)
+	vals, _ := tr.Search(7)
+	if len(vals) != 50 {
+		t.Fatalf("Search(7) found %d of 50 duplicates", len(vals))
+	}
+	for i, v := range vals {
+		if v != int64(i) {
+			t.Fatalf("duplicate order broken: %v", vals)
+		}
+	}
+}
+
+func TestInsertMaintainsInvariants(t *testing.T) {
+	tr := New(4, 4, counter())
+	r := rand.New(rand.NewSource(42))
+	keys := r.Perm(500)
+	for _, k := range keys {
+		tr.Insert(Entry{Key: int64(k), Val: int64(k * 2)})
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("invalid after inserts: %v", err)
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	for _, k := range keys {
+		vals, _ := tr.Search(int64(k))
+		if len(vals) != 1 || vals[0] != int64(k*2) {
+			t.Fatalf("Search(%d) = %v", k, vals)
+		}
+	}
+}
+
+func TestInsertDuplicates(t *testing.T) {
+	tr := New(4, 4, counter())
+	for i := 0; i < 100; i++ {
+		tr.Insert(Entry{Key: int64(i % 5), Val: int64(i)})
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(0); k < 5; k++ {
+		vals, _ := tr.Search(k)
+		if len(vals) != 20 {
+			t.Fatalf("Search(%d) found %d, want 20", k, len(vals))
+		}
+	}
+}
+
+func TestHeightGrowsLogarithmically(t *testing.T) {
+	tr := bulkTree(t, 10, 10, seqEntries(10000))
+	// 10000 entries / 10 per leaf = 1000 leaves; fanout 10 => 4 levels + leaf.
+	if tr.Height() != 4 {
+		t.Fatalf("height = %d, want 4", tr.Height())
+	}
+}
+
+func TestPageNumbersUnique(t *testing.T) {
+	tr := bulkTree(t, 4, 4, seqEntries(200))
+	seen := map[int]bool{}
+	var walk func(n *node)
+	var dup bool
+	walk = func(n *node) {
+		if seen[n.page] {
+			dup = true
+		}
+		seen[n.page] = true
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(tr.root)
+	if dup {
+		t.Fatal("duplicate page numbers in tree")
+	}
+	if len(seen) != tr.Pages() {
+		t.Fatalf("Pages() = %d but %d nodes found", tr.Pages(), len(seen))
+	}
+}
+
+func TestRangeEntriesMatchesRange(t *testing.T) {
+	tr := bulkTree(t, 5, 4, seqEntries(300))
+	es, _ := tr.RangeEntries(50, 99)
+	vals, _ := tr.Range(50, 99)
+	if len(es) != len(vals) {
+		t.Fatalf("entries %d vs vals %d", len(es), len(vals))
+	}
+	for i := range es {
+		if es[i].Val != vals[i] {
+			t.Fatal("RangeEntries and Range disagree")
+		}
+	}
+}
+
+// Property: for random multisets of keys, Range(lo,hi) on a bulk-loaded tree
+// equals the naive filter, for both bulk-loaded and incrementally built trees.
+func TestRangeMatchesNaiveProperty(t *testing.T) {
+	check := func(rawKeys []uint16, loRaw, width uint16, useInsert bool) bool {
+		if len(rawKeys) == 0 {
+			rawKeys = []uint16{42}
+		}
+		if len(rawKeys) > 300 {
+			rawKeys = rawKeys[:300]
+		}
+		keys := make([]int64, len(rawKeys))
+		for i, k := range rawKeys {
+			keys[i] = int64(k % 512)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		entries := make([]Entry, len(keys))
+		for i, k := range keys {
+			entries[i] = Entry{Key: k, Val: int64(i)}
+		}
+		tr := New(5, 4, counter())
+		if useInsert {
+			for _, e := range entries {
+				tr.Insert(e)
+			}
+		} else {
+			tr.Bulk(entries)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Logf("validate: %v", err)
+			return false
+		}
+		lo := int64(loRaw % 512)
+		hi := lo + int64(width%64)
+		got, _ := tr.Range(lo, hi)
+		want := 0
+		for _, k := range keys {
+			if k >= lo && k <= hi {
+				want++
+			}
+		}
+		return len(got) == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a bulk-loaded tree and an insert-built tree over the same data
+// answer every point query identically.
+func TestBulkVsInsertEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(400)
+		keys := make([]int64, n)
+		for i := range keys {
+			keys[i] = int64(r.Intn(256))
+		}
+		sorted := append([]int64(nil), keys...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		entries := make([]Entry, n)
+		for i, k := range sorted {
+			entries[i] = Entry{Key: k, Val: k}
+		}
+		bulk := New(6, 5, counter())
+		bulk.Bulk(entries)
+		ins := New(6, 5, counter())
+		for _, e := range entries {
+			ins.Insert(e)
+		}
+		for k := int64(0); k < 256; k++ {
+			a, _ := bulk.Search(k)
+			b, _ := ins.Search(k)
+			if len(a) != len(b) {
+				t.Fatalf("trial %d key %d: bulk %d hits, insert %d hits", trial, k, len(a), len(b))
+			}
+		}
+	}
+}
+
+func TestNewRejectsTinyParameters(t *testing.T) {
+	for _, tc := range []struct{ fanout, leafCap int }{{2, 4}, {4, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", tc.fanout, tc.leafCap)
+				}
+			}()
+			New(tc.fanout, tc.leafCap, counter())
+		}()
+	}
+}
+
+func TestRootPageStable(t *testing.T) {
+	tr := bulkTree(t, 4, 4, seqEntries(64))
+	_, path := tr.Search(0)
+	if len(path.Interior) > 0 && path.Interior[0] != tr.RootPage() {
+		t.Fatal("first interior page should be the root")
+	}
+}

@@ -1,0 +1,163 @@
+// Package catalog implements the System Catalog manager of Figure 7: it
+// tracks the relations defined in the system, the partitioning strategy
+// each is declustered with, per-disk tuple and page counts, and index
+// metadata. The query optimizer's localization data (range boundaries,
+// BERD auxiliary cuts, MAGIC's grid directory) lives inside the registered
+// Placement, exactly as the paper stores the grid directory "in the
+// database catalog".
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// IndexInfo describes one index of a fragment.
+type IndexInfo struct {
+	Attr      int
+	Name      string
+	Clustered bool
+	Pages     int
+	Height    int
+}
+
+// NodeStats records what one node stores for a relation.
+type NodeStats struct {
+	Tuples     int
+	DataPages  int
+	Indexes    []IndexInfo
+	AuxEntries int // BERD auxiliary entries stored on this node
+	AuxPages   int
+}
+
+// TotalPages reports all pages the node devotes to the relation.
+func (n NodeStats) TotalPages() int {
+	p := n.DataPages + n.AuxPages
+	for _, ix := range n.Indexes {
+		p += ix.Pages
+	}
+	return p
+}
+
+// RelationInfo is one catalog entry.
+type RelationInfo struct {
+	Name        string
+	Cardinality int
+	Placement   core.Placement
+	Nodes       map[int]NodeStats
+}
+
+// Strategy reports the declustering strategy name.
+func (r *RelationInfo) Strategy() string { return r.Placement.Name() }
+
+// TotalPages sums pages across all nodes.
+func (r *RelationInfo) TotalPages() int {
+	total := 0
+	for _, n := range r.Nodes {
+		total += n.TotalPages()
+	}
+	return total
+}
+
+// TupleBalance reports the min, max and mean tuples per node over the
+// processors the placement spans (nodes with no entry count as zero).
+func (r *RelationInfo) TupleBalance() (min, max int, mean float64) {
+	p := r.Placement.Processors()
+	first := true
+	total := 0
+	for node := 0; node < p; node++ {
+		t := r.Nodes[node].Tuples
+		if first {
+			min, max, first = t, t, false
+		}
+		if t < min {
+			min = t
+		}
+		if t > max {
+			max = t
+		}
+		total += t
+	}
+	return min, max, float64(total) / float64(p)
+}
+
+// Describe renders the per-node layout as a table.
+func (r *RelationInfo) Describe() *stats.Table {
+	tb := stats.NewTable(
+		fmt.Sprintf("relation %s: %d tuples, %s declustered over %d processors",
+			r.Name, r.Cardinality, r.Strategy(), r.Placement.Processors()),
+		"node", "tuples", "data pages", "index pages", "aux entries")
+	nodes := make([]int, 0, len(r.Nodes))
+	for n := range r.Nodes {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	for _, n := range nodes {
+		ns := r.Nodes[n]
+		idx := 0
+		for _, ix := range ns.Indexes {
+			idx += ix.Pages
+		}
+		tb.AddRow(n, ns.Tuples, ns.DataPages, idx+ns.AuxPages, ns.AuxEntries)
+	}
+	return tb
+}
+
+// Catalog is the system-wide relation registry.
+type Catalog struct {
+	relations map[string]*RelationInfo
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{relations: make(map[string]*RelationInfo)}
+}
+
+// Register adds a relation; registering a duplicate name is an error.
+func (c *Catalog) Register(info *RelationInfo) error {
+	if info.Name == "" {
+		return fmt.Errorf("catalog: relation needs a name")
+	}
+	if info.Placement == nil {
+		return fmt.Errorf("catalog: relation %s has no placement", info.Name)
+	}
+	if _, dup := c.relations[info.Name]; dup {
+		return fmt.Errorf("catalog: relation %s already registered", info.Name)
+	}
+	if info.Nodes == nil {
+		info.Nodes = make(map[int]NodeStats)
+	}
+	c.relations[info.Name] = info
+	return nil
+}
+
+// Lookup finds a relation.
+func (c *Catalog) Lookup(name string) (*RelationInfo, bool) {
+	r, ok := c.relations[name]
+	return r, ok
+}
+
+// Drop removes a relation; dropping an unknown relation is an error.
+func (c *Catalog) Drop(name string) error {
+	if _, ok := c.relations[name]; !ok {
+		return fmt.Errorf("catalog: relation %s not registered", name)
+	}
+	delete(c.relations, name)
+	return nil
+}
+
+// Relations lists registered relation names, sorted.
+func (c *Catalog) Relations() []string {
+	out := make([]string, 0, len(c.relations))
+	for n := range c.relations {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the number of registered relations.
+func (c *Catalog) Len() int { return len(c.relations) }

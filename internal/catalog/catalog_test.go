@@ -1,0 +1,141 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+func testInfo(t *testing.T) *RelationInfo {
+	t.Helper()
+	rel := storage.GenerateWisconsin(storage.GenSpec{Cardinality: 800, Seed: 2})
+	pl := core.NewRangeForRelation(rel, storage.Unique1, 4)
+	info := &RelationInfo{
+		Name:        "wisconsin",
+		Cardinality: 800,
+		Placement:   pl,
+		Nodes:       make(map[int]NodeStats),
+	}
+	for node := 0; node < 4; node++ {
+		info.Nodes[node] = NodeStats{
+			Tuples:    200,
+			DataPages: 6,
+			Indexes: []IndexInfo{
+				{Attr: storage.Unique2, Name: "unique2", Clustered: true, Pages: 2, Height: 2},
+				{Attr: storage.Unique1, Name: "unique1", Pages: 2, Height: 2},
+			},
+			AuxEntries: 200,
+			AuxPages:   1,
+		}
+	}
+	return info
+}
+
+func TestRegisterAndLookup(t *testing.T) {
+	c := New()
+	info := testInfo(t)
+	if err := c.Register(info); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Lookup("wisconsin")
+	if !ok || got.Name != "wisconsin" {
+		t.Fatal("lookup failed")
+	}
+	if got.Strategy() != "range" {
+		t.Fatalf("strategy = %s", got.Strategy())
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if _, ok := c.Lookup("nope"); ok {
+		t.Fatal("found unregistered relation")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	c := New()
+	if err := c.Register(&RelationInfo{Name: ""}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := c.Register(&RelationInfo{Name: "r"}); err == nil {
+		t.Error("nil placement accepted")
+	}
+	info := testInfo(t)
+	if err := c.Register(info); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(info); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+}
+
+func TestDrop(t *testing.T) {
+	c := New()
+	if err := c.Drop("missing"); err == nil {
+		t.Error("dropping unknown relation should fail")
+	}
+	info := testInfo(t)
+	if err := c.Register(info); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drop("wisconsin"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("drop did not remove the relation")
+	}
+}
+
+func TestRelationsSorted(t *testing.T) {
+	c := New()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		info := testInfo(t)
+		info.Name = name
+		if err := c.Register(info); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.Relations()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("relations = %v", got)
+		}
+	}
+}
+
+func TestTotalPagesAndBalance(t *testing.T) {
+	info := testInfo(t)
+	// Per node: 6 data + 4 index + 1 aux = 11; 4 nodes = 44.
+	if got := info.TotalPages(); got != 44 {
+		t.Fatalf("total pages = %d", got)
+	}
+	min, max, mean := info.TupleBalance()
+	if min != 200 || max != 200 || mean != 200 {
+		t.Fatalf("balance = %d/%d/%g", min, max, mean)
+	}
+}
+
+func TestTupleBalanceCountsEmptyNodes(t *testing.T) {
+	info := testInfo(t)
+	delete(info.Nodes, 3) // node 3 stores nothing
+	min, _, mean := info.TupleBalance()
+	if min != 0 {
+		t.Fatalf("min = %d, want 0 for the empty node", min)
+	}
+	if mean != 150 {
+		t.Fatalf("mean = %g", mean)
+	}
+}
+
+func TestDescribeTable(t *testing.T) {
+	info := testInfo(t)
+	s := info.Describe().String()
+	for _, want := range []string{"wisconsin", "range", "node", "aux entries"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("describe table missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAssignOwnersRoundRobinFor1D(t *testing.T) {
+	owners := AssignOwners([]int{10}, 4, []float64{2})
+	for i, o := range owners {
+		if o != i%4 {
+			t.Fatalf("1D assignment not round-robin: owners[%d] = %d", i, o)
+		}
+	}
+}
+
+func TestAssignOwnersSliceDistinctMatchesRadices(t *testing.T) {
+	// P=32, Mi targets (2, 9): the best factorization is radices (16, 2),
+	// so dimension-0 queries meet 32/16 = 2 processors and dimension-1
+	// queries meet 32/2 = 16 — the exact counts Section 7.2 reports.
+	dims := []int{23, 193}
+	owners := AssignOwners(dims, 32, []float64{2, 9})
+	d0 := SliceDistinct(owners, dims, 0)
+	for i, n := range d0 {
+		if n != 2 {
+			t.Fatalf("slice %d of dim 0 has %d distinct processors, want 2", i, n)
+		}
+	}
+	d1 := SliceDistinct(owners, dims, 1)
+	for i, n := range d1 {
+		if n != 16 {
+			t.Fatalf("slice %d of dim 1 has %d distinct processors, want 16", i, n)
+		}
+	}
+}
+
+func TestAssignOwnersModerateLowMirrors(t *testing.T) {
+	// Section 7.3 mirror image: Mi = (9, 2) -> QA meets 16, QB meets 2.
+	dims := []int{193, 23}
+	owners := AssignOwners(dims, 32, []float64{9, 2})
+	if n := SliceDistinct(owners, dims, 0)[0]; n != 16 {
+		t.Fatalf("dim-0 slices have %d distinct, want 16", n)
+	}
+	if n := SliceDistinct(owners, dims, 1)[0]; n != 2 {
+		t.Fatalf("dim-1 slices have %d distinct, want 2", n)
+	}
+}
+
+func TestAssignOwnersUsesAllProcessorsEvenly(t *testing.T) {
+	dims := []int{62, 61}
+	owners := AssignOwners(dims, 32, []float64{5, 5})
+	counts := make([]int, 32)
+	for _, o := range owners {
+		if o < 0 || o >= 32 {
+			t.Fatalf("owner %d out of range", o)
+		}
+		counts[o]++
+	}
+	total := 62 * 61
+	mean := float64(total) / 32
+	for p, c := range counts {
+		if float64(c) < 0.85*mean || float64(c) > 1.15*mean {
+			t.Fatalf("processor %d owns %d cells (ideal %.0f)", p, c, mean)
+		}
+	}
+}
+
+// Property: for any radix choice, the number of distinct processors in every
+// slice of dimension d is min(dims excluding d product, P/A_d); in
+// particular it never exceeds P and all slices of a dimension agree.
+func TestAssignOwnersSliceUniformityProperty(t *testing.T) {
+	check := func(d0, d1 uint8, miA, miB uint8) bool {
+		dims := []int{int(d0%20) + 2, int(d1%20) + 2}
+		mi := []float64{float64(miA%8) + 1, float64(miB%8) + 1}
+		owners := AssignOwners(dims, 16, mi)
+		for d := 0; d < 2; d++ {
+			dist := SliceDistinct(owners, dims, d)
+			for _, n := range dist[1:] {
+				if n != dist[0] {
+					return false
+				}
+			}
+			if dist[0] > 16 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChooseRadicesProductAlwaysP(t *testing.T) {
+	for _, p := range []int{2, 6, 16, 32, 30} {
+		for _, mi := range [][]float64{{1, 1}, {9, 2}, {32, 32}, {0.5, 100}} {
+			r := chooseRadices(2, p, mi)
+			if r[0]*r[1] != p {
+				t.Fatalf("radices %v for P=%d", r, p)
+			}
+		}
+	}
+}
+
+func TestChooseRadicesThreeDims(t *testing.T) {
+	r := chooseRadices(3, 32, []float64{2, 4, 4})
+	if r[0]*r[1]*r[2] != 32 {
+		t.Fatalf("radices %v", r)
+	}
+}
+
+func TestProcessorLoadsAndSpread(t *testing.T) {
+	owners := []int{0, 1, 0, 1}
+	counts := []int{10, 20, 30, 40}
+	loads := ProcessorLoads(owners, counts, 2)
+	if loads[0] != 40 || loads[1] != 60 {
+		t.Fatalf("loads = %v", loads)
+	}
+	min, max, mean := LoadSpread(owners, counts, 2)
+	if min != 40 || max != 60 || mean != 50 {
+		t.Fatalf("spread = %d/%d/%g", min, max, mean)
+	}
+}
+
+// Diagonal (perfectly correlated) data on a square grid: the tiled
+// assignment leaves many processors empty; the Section 4 hill climber must
+// bring the spread down dramatically. The paper reports <= 20% difference
+// between any two processors for the worst case on 32 processors.
+func TestRebalanceWorstCaseSpread(t *testing.T) {
+	const n = 128 // 128x128 grid, diagonal occupancy
+	dims := []int{n, n}
+	counts := make([]int, n*n)
+	for i := 0; i < n; i++ {
+		counts[i*n+i] = 25 // all tuples on the diagonal
+	}
+	owners := AssignOwners(dims, 32, []float64{5, 5})
+	minBefore, maxBefore, _ := LoadSpread(owners, counts, 32)
+	if minBefore != 0 {
+		t.Fatalf("test premise wrong: diagonal should leave empty processors, min=%d", minBefore)
+	}
+	swaps := Rebalance(owners, dims, counts, 32, 400)
+	if swaps == 0 {
+		t.Fatal("rebalance made no swaps on skewed data")
+	}
+	min, max, _ := LoadSpread(owners, counts, 32)
+	if min == 0 {
+		t.Fatalf("processors still empty after rebalance (max=%d)", max)
+	}
+	spread := float64(max-min) / float64(max)
+	if spread > 0.30 {
+		t.Fatalf("spread after rebalance = %.0f%% (min=%d max=%d), paper achieves ~20%%",
+			spread*100, min, max)
+	}
+	if maxBefore < max {
+		t.Fatal("rebalance increased the maximum load")
+	}
+}
+
+// Swapping slices must never change the distinct-processor count of any
+// slice in any dimension (the property the paper relies on).
+func TestRebalancePreservesSliceDistinct(t *testing.T) {
+	dims := []int{16, 16}
+	counts := make([]int, 16*16)
+	for i := 0; i < 16; i++ {
+		counts[i*16+i] = 50
+		counts[i*16+(i+1)%16] = 25
+	}
+	owners := AssignOwners(dims, 8, []float64{3, 3})
+	before0 := SliceDistinct(owners, dims, 0)
+	before1 := SliceDistinct(owners, dims, 1)
+	Rebalance(owners, dims, counts, 8, 100)
+	after0 := SliceDistinct(owners, dims, 0)
+	after1 := SliceDistinct(owners, dims, 1)
+	sum := func(xs []int) int {
+		s := 0
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	}
+	if sum(before0) != sum(after0) || sum(before1) != sum(after1) {
+		t.Fatal("rebalance changed per-slice distinct processor counts")
+	}
+}
+
+func TestRebalanceUniformDataIsStable(t *testing.T) {
+	dims := []int{8, 8}
+	counts := make([]int, 64)
+	for i := range counts {
+		counts[i] = 10
+	}
+	owners := AssignOwners(dims, 8, []float64{3, 3})
+	if swaps := Rebalance(owners, dims, counts, 8, 50); swaps != 0 {
+		t.Fatalf("perfectly balanced input triggered %d swaps", swaps)
+	}
+}
+
+// The rebalanced maximum load should approach the theoretical lower bound
+// ceil(total/P) on moderately skewed inputs — the evaluation methodology the
+// paper cites against [GMSY90]'s bound.
+func TestRebalanceApproachesLowerBound(t *testing.T) {
+	dims := []int{32, 32}
+	counts := make([]int, 32*32)
+	total := 0
+	for i := range counts {
+		counts[i] = (i % 7) * 3 // mild skew
+		total += counts[i]
+	}
+	owners := AssignOwners(dims, 16, []float64{4, 4})
+	Rebalance(owners, dims, counts, 16, 200)
+	_, max, _ := LoadSpread(owners, counts, 16)
+	bound := (total + 15) / 16
+	if float64(max) > 1.3*float64(bound) {
+		t.Fatalf("max load %d vs lower bound %d", max, bound)
+	}
+}
+
+func TestAssignOwnersValidation(t *testing.T) {
+	for i, fn := range []func(){
+		func() { AssignOwners(nil, 4, nil) },
+		func() { AssignOwners([]int{4}, 0, []float64{1}) },
+		func() { AssignOwners([]int{0, 4}, 4, []float64{1, 1}) },
+		func() { AssignOwners([]int{4, 4}, 4, []float64{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: AssignOwners accepted bad input", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRebalanceMismatchedLengthsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lengths did not panic")
+		}
+	}()
+	Rebalance([]int{0, 1}, []int{2}, []int{1}, 2, 10)
+}

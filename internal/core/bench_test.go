@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func BenchmarkBuildMAGIC20k(b *testing.B) {
+	rel := storage.GenerateWisconsin(storage.GenSpec{Cardinality: 20000, Seed: 21})
+	pp := PlanParams{CPms: 1.7, CSms: 0.003, Processors: 32, Cardinality: 20000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildMAGIC(rel, []int{storage.Unique1, storage.Unique2},
+			magicWorkload(), pp, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRebalanceDiagonal(b *testing.B) {
+	const n = 64
+	dims := []int{n, n}
+	counts := make([]int, n*n)
+	for i := 0; i < n; i++ {
+		counts[i*n+i] = 25
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		owners := AssignOwners(dims, 32, []float64{5, 5})
+		Rebalance(owners, dims, counts, 32, 100)
+	}
+}
+
+func BenchmarkMAGICRoute(b *testing.B) {
+	rel := storage.GenerateWisconsin(storage.GenSpec{Cardinality: 20000, Seed: 21})
+	pp := PlanParams{CPms: 1.7, CSms: 0.003, Processors: 32, Cardinality: 20000}
+	m, err := BuildMAGIC(rel, []int{storage.Unique1, storage.Unique2}, magicWorkload(), pp, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Route(Predicate{Attr: storage.Unique2, Lo: int64(i % 19000), Hi: int64(i%19000 + 9)})
+	}
+}

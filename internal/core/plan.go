@@ -1,0 +1,213 @@
+// Package core implements the paper's primary contribution: the MAGIC
+// multi-attribute grid declustering strategy — the QAve planning model of
+// Section 3.2, the grid-directory construction of Section 3.3, and the
+// processor-assignment and rebalancing heuristics of Sections 3.4 and 4 —
+// together with the strategies it is evaluated against: Bubba's
+// extended-range declustering (BERD, Section 2), single-attribute range
+// partitioning, and hash partitioning.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/storage"
+)
+
+// QuerySpec describes one query class of the workload for planning: which
+// attribute its predicate references, how many tuples it processes, its
+// frequency of occurrence, and its resource consumption (the paper's CPUi,
+// Diski and Neti quanta), in milliseconds of the respective resource.
+type QuerySpec struct {
+	Name           string
+	Attr           int
+	TuplesPerQuery float64
+	Frequency      float64
+	CPUms          float64
+	DiskMS         float64
+	NetMS          float64
+}
+
+// totalMS is CPUi + Diski + Neti.
+func (q QuerySpec) totalMS() float64 { return q.CPUms + q.DiskMS + q.NetMS }
+
+// PlanParams are the system constants of the planning model.
+type PlanParams struct {
+	// CPms is the Cost of Participation: the overhead of employing one
+	// additional processor for a query (scheduling + termination), ms.
+	CPms float64
+	// CSms is the cost of examining one entry of the grid directory during
+	// optimization, ms.
+	CSms float64
+	// Processors is the machine size P.
+	Processors int
+	// Cardinality of the relation being declustered.
+	Cardinality int
+}
+
+// Validate reports an error for unusable parameters.
+func (pp PlanParams) Validate() error {
+	switch {
+	case pp.CPms <= 0:
+		return fmt.Errorf("core: CP must be positive, got %g", pp.CPms)
+	case pp.CSms < 0:
+		return fmt.Errorf("core: CS must be non-negative, got %g", pp.CSms)
+	case pp.Processors <= 0:
+		return fmt.Errorf("core: processors must be positive, got %d", pp.Processors)
+	case pp.Cardinality <= 0:
+		return fmt.Errorf("core: cardinality must be positive, got %d", pp.Cardinality)
+	}
+	return nil
+}
+
+// Plan is the output of the Section 3.2 planning model.
+type Plan struct {
+	// QAve aggregates.
+	TuplesPerQAve float64
+	CPUAveMS      float64
+	DiskAveMS     float64
+	NetAveMS      float64
+	// M is the ideal number of processors for QAve (may be fractional; the
+	// paper's footnote 4 handles M < 1).
+	M float64
+	// FC is the fragment cardinality, already clamped so the directory has
+	// at least Processors fragments and at most Cardinality.
+	FC int
+	// Mi maps each partitioning attribute to the ideal number of
+	// processors for queries referencing it (Equation 3), clamped to
+	// [1, Processors].
+	Mi map[int]float64
+	// FractionSplits holds Equation 4 exactly as printed in the paper, per
+	// attribute. See SplitWeights for the values actually used to drive
+	// the grid file (DESIGN.md documents the discrepancy).
+	FractionSplits map[int]float64
+	// SplitWeights are the per-attribute splitting frequencies used to
+	// build the directory: proportional to Mi, which reproduces every
+	// directory shape and split-ratio statement in Sections 3.3 and 7.
+	SplitWeights map[int]float64
+}
+
+// ResponseTime evaluates Equation 1: the modeled response time of QAve when
+// executed by m processors.
+func ResponseTime(m float64, tuplesAve, cpuAve, diskAve, netAve float64, pp PlanParams) float64 {
+	if m < 1 {
+		m = 1
+	}
+	work := (cpuAve + diskAve + netAve) / m
+	participation := m * pp.CPms
+	search := (m - 1) * float64(pp.Cardinality) * pp.CSms / (2 * tuplesAve)
+	return work + participation + search
+}
+
+// ComputePlan runs the Section 3.2/3.3 planning model over the workload.
+// Frequencies are normalized internally, so they may be given as counts.
+func ComputePlan(queries []QuerySpec, pp PlanParams) (Plan, error) {
+	if err := pp.Validate(); err != nil {
+		return Plan{}, err
+	}
+	if len(queries) == 0 {
+		return Plan{}, fmt.Errorf("core: no queries in workload")
+	}
+	var freqSum float64
+	for _, q := range queries {
+		if q.Frequency < 0 || q.TuplesPerQuery <= 0 {
+			return Plan{}, fmt.Errorf("core: query %q has invalid frequency/tuples", q.Name)
+		}
+		freqSum += q.Frequency
+	}
+	if freqSum == 0 {
+		return Plan{}, fmt.Errorf("core: all query frequencies are zero")
+	}
+
+	p := Plan{
+		Mi:             make(map[int]float64),
+		FractionSplits: make(map[int]float64),
+		SplitWeights:   make(map[int]float64),
+	}
+	for _, q := range queries {
+		f := q.Frequency / freqSum
+		p.TuplesPerQAve += q.TuplesPerQuery * f
+		p.CPUAveMS += q.CPUms * f
+		p.DiskAveMS += q.DiskMS * f
+		p.NetAveMS += q.NetMS * f
+	}
+
+	// M = sqrt( (CPUAve+DiskAve+NetAve) / (CP + Card*CS/(2*TuplesPerQAve)) ).
+	denom := pp.CPms + float64(pp.Cardinality)*pp.CSms/(2*p.TuplesPerQAve)
+	p.M = math.Sqrt((p.CPUAveMS + p.DiskAveMS + p.NetAveMS) / denom)
+
+	// Fragment cardinality FC (Section 3.2 incl. footnote 4), clamped so
+	// the directory has between Processors and Cardinality entries: fewer
+	// than P fragments could not use the full system; more than one
+	// fragment per tuple is meaningless.
+	var fc float64
+	if p.M <= 1 {
+		fc = p.TuplesPerQAve / p.M
+	} else {
+		fc = p.TuplesPerQAve / (p.M - 1)
+	}
+	p.FC = int(math.Ceil(fc))
+	if maxFC := pp.Cardinality / pp.Processors; p.FC > maxFC && maxFC >= 1 {
+		p.FC = maxFC
+	}
+	if p.FC < 1 {
+		p.FC = 1
+	}
+
+	// Mi per attribute (Equations 2 and 3), clamped to [1, P].
+	attrFreq := make(map[int]float64)
+	attrWork := make(map[int]float64) // sum over queries of total resources * RelFreq
+	for _, q := range queries {
+		attrFreq[q.Attr] += q.Frequency
+	}
+	for _, q := range queries {
+		rel := q.Frequency / attrFreq[q.Attr]
+		attrWork[q.Attr] += q.totalMS() * rel
+	}
+	var miSum float64
+	for attr, work := range attrWork {
+		mi := math.Sqrt(work / pp.CPms)
+		if mi < 1 {
+			mi = 1
+		}
+		if mi > float64(pp.Processors) {
+			mi = float64(pp.Processors)
+		}
+		p.Mi[attr] = mi
+		miSum += mi
+	}
+
+	// Equation 4 exactly as printed, plus the behaviour-consistent split
+	// weights (proportional to Mi) that the construction uses.
+	for attr, mi := range p.Mi {
+		p.FractionSplits[attr] = (attrFreq[attr] / freqSum) * (miSum - mi) / miSum
+		p.SplitWeights[attr] = mi / miSum
+	}
+	return p, nil
+}
+
+// OptimalM numerically confirms that the closed form for M minimizes
+// Equation 1 (used by tests and the magicplan tool's explain output): it
+// returns the integer processor count in [1, P] with the lowest modeled
+// response time.
+func (p Plan) OptimalM(pp PlanParams) int {
+	best, bestRT := 1, math.Inf(1)
+	for m := 1; m <= pp.Processors; m++ {
+		rt := ResponseTime(float64(m), p.TuplesPerQAve, p.CPUAveMS, p.DiskAveMS, p.NetAveMS, pp)
+		if rt < bestRT {
+			best, bestRT = m, rt
+		}
+	}
+	return best
+}
+
+// boundsOf extracts the inclusive value domain of each attribute from the
+// relation, as the grid file needs.
+func boundsOf(rel *storage.Relation, attrs []int) [][2]int64 {
+	out := make([][2]int64, len(attrs))
+	for i, a := range attrs {
+		lo, hi := rel.AttrBounds(a)
+		out[i] = [2]int64{lo, hi}
+	}
+	return out
+}

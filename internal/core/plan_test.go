@@ -1,0 +1,219 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func defaultPP() PlanParams {
+	return PlanParams{CPms: 1.7, CSms: 0.003, Processors: 32, Cardinality: 100000}
+}
+
+func TestComputePlanAggregatesQAve(t *testing.T) {
+	qs := []QuerySpec{
+		{Name: "QA", Attr: storage.Unique1, TuplesPerQuery: 1, Frequency: 0.5,
+			CPUms: 10, DiskMS: 20, NetMS: 2},
+		{Name: "QB", Attr: storage.Unique2, TuplesPerQuery: 10, Frequency: 0.5,
+			CPUms: 12, DiskMS: 24, NetMS: 4},
+	}
+	p, err := ComputePlan(qs, defaultPP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(p.TuplesPerQAve, 5.5, 1e-12) {
+		t.Fatalf("TuplesPerQAve = %g", p.TuplesPerQAve)
+	}
+	if !almost(p.CPUAveMS, 11, 1e-12) || !almost(p.DiskAveMS, 22, 1e-12) || !almost(p.NetAveMS, 3, 1e-12) {
+		t.Fatalf("QAve resources = %g/%g/%g", p.CPUAveMS, p.DiskAveMS, p.NetAveMS)
+	}
+}
+
+func TestComputePlanNormalizesFrequencies(t *testing.T) {
+	// Frequencies given as counts must behave like normalized frequencies.
+	mk := func(fa, fb float64) Plan {
+		qs := []QuerySpec{
+			{Name: "QA", Attr: 0, TuplesPerQuery: 1, Frequency: fa, CPUms: 10},
+			{Name: "QB", Attr: 1, TuplesPerQuery: 10, Frequency: fb, CPUms: 20},
+		}
+		p, err := ComputePlan(qs, defaultPP())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a, b := mk(0.5, 0.5), mk(7, 7)
+	if !almost(a.TuplesPerQAve, b.TuplesPerQAve, 1e-12) || !almost(a.M, b.M, 1e-12) {
+		t.Fatal("frequency scaling changed the plan")
+	}
+}
+
+func TestMFormulaMatchesEquation(t *testing.T) {
+	pp := defaultPP()
+	qs := []QuerySpec{{Name: "Q", Attr: 0, TuplesPerQuery: 100, Frequency: 1,
+		CPUms: 40, DiskMS: 50, NetMS: 10}}
+	p, err := ComputePlan(qs, pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(100.0 / (pp.CPms + float64(pp.Cardinality)*pp.CSms/(2*100)))
+	if !almost(p.M, want, 1e-12) {
+		t.Fatalf("M = %g, want %g", p.M, want)
+	}
+}
+
+// The closed form for M comes from zeroing the derivative of Equation 1;
+// verify numerically that it minimizes the modeled response time.
+func TestMMinimizesResponseTime(t *testing.T) {
+	pp := defaultPP()
+	qs := []QuerySpec{{Name: "Q", Attr: 0, TuplesPerQuery: 300, Frequency: 1,
+		CPUms: 44, DiskMS: 50, NetMS: 44}}
+	p, err := ComputePlan(qs, pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := p.OptimalM(pp)
+	if math.Abs(float64(best)-p.M) > 1.0 {
+		t.Fatalf("closed-form M=%g but numeric optimum is %d", p.M, best)
+	}
+	// Response time must be convex-ish around the optimum.
+	rtAt := func(m float64) float64 {
+		return ResponseTime(m, p.TuplesPerQAve, p.CPUAveMS, p.DiskAveMS, p.NetAveMS, pp)
+	}
+	if rtAt(p.M) > rtAt(p.M/2) || rtAt(p.M) > rtAt(p.M*2) {
+		t.Fatal("modeled response time is not minimized near M")
+	}
+}
+
+func TestFCFootnoteForSmallM(t *testing.T) {
+	// Tiny resource requirements force M < 1; footnote 4: FC = Tuples/M.
+	pp := PlanParams{CPms: 100, CSms: 0.001, Processors: 4, Cardinality: 1000}
+	qs := []QuerySpec{{Name: "Q", Attr: 0, TuplesPerQuery: 10, Frequency: 1, CPUms: 1}}
+	p, err := ComputePlan(qs, pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.M >= 1 {
+		t.Fatalf("test construction failed: M = %g", p.M)
+	}
+	want := int(math.Ceil(10 / p.M))
+	if maxFC := pp.Cardinality / pp.Processors; want > maxFC {
+		want = maxFC
+	}
+	if p.FC != want {
+		t.Fatalf("FC = %d, want %d", p.FC, want)
+	}
+}
+
+func TestFCClampedToGuaranteePFragments(t *testing.T) {
+	// M barely above 1 would make FC explode; it must be clamped to
+	// Cardinality/Processors so each processor can own at least one cell.
+	pp := PlanParams{CPms: 30, CSms: 0.0001, Processors: 8, Cardinality: 800}
+	qs := []QuerySpec{{Name: "Q", Attr: 0, TuplesPerQuery: 50, Frequency: 1,
+		CPUms: 15, DiskMS: 15, NetMS: 5}}
+	p, err := ComputePlan(qs, pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FC > pp.Cardinality/pp.Processors {
+		t.Fatalf("FC = %d exceeds cardinality/processors = %d", p.FC, pp.Cardinality/pp.Processors)
+	}
+	if p.FC < 1 {
+		t.Fatalf("FC = %d", p.FC)
+	}
+}
+
+func TestMiClampedToProcessorRange(t *testing.T) {
+	pp := PlanParams{CPms: 0.1, CSms: 0, Processors: 4, Cardinality: 1000}
+	qs := []QuerySpec{
+		{Name: "huge", Attr: 0, TuplesPerQuery: 10, Frequency: 1, CPUms: 1000}, // sqrt(10000)=100 -> clamp 4
+		{Name: "tiny", Attr: 1, TuplesPerQuery: 1, Frequency: 1, CPUms: 0.001}, // sqrt(0.01)=0.1 -> clamp 1
+	}
+	p, err := ComputePlan(qs, pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Mi[0] != 4 {
+		t.Fatalf("Mi[0] = %g, want clamped 4", p.Mi[0])
+	}
+	if p.Mi[1] != 1 {
+		t.Fatalf("Mi[1] = %g, want clamped 1", p.Mi[1])
+	}
+}
+
+// Section 3.3's worked example: M_ticker = 3, M_price = 1, 90%/10% access
+// frequencies. Equation 4 as printed yields 22.5% and 7.5%.
+func TestFractionSplitsPaperExample(t *testing.T) {
+	pp := PlanParams{CPms: 1, CSms: 0, Processors: 36, Cardinality: 100000}
+	qs := []QuerySpec{
+		{Name: "ticker", Attr: 0, TuplesPerQuery: 1, Frequency: 0.9, CPUms: 9}, // Mi = sqrt(9/1) = 3
+		{Name: "price", Attr: 1, TuplesPerQuery: 5, Frequency: 0.1, CPUms: 1},  // Mi = sqrt(1/1) = 1
+	}
+	p, err := ComputePlan(qs, pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(p.Mi[0], 3, 1e-9) || !almost(p.Mi[1], 1, 1e-9) {
+		t.Fatalf("Mi = %v", p.Mi)
+	}
+	if !almost(p.FractionSplits[0], 0.225, 1e-9) {
+		t.Fatalf("FractionSplits[ticker] = %g, want 0.225", p.FractionSplits[0])
+	}
+	if !almost(p.FractionSplits[1], 0.075, 1e-9) {
+		t.Fatalf("FractionSplits[price] = %g, want 0.075", p.FractionSplits[1])
+	}
+	// The split weights actually used are Mi-proportional: 3:1, matching
+	// "the ticker-symbol attribute will have three times as many elements".
+	if !almost(p.SplitWeights[0]/p.SplitWeights[1], 3, 1e-9) {
+		t.Fatalf("split weight ratio = %g, want 3", p.SplitWeights[0]/p.SplitWeights[1])
+	}
+}
+
+// Section 7.2: equal frequencies, Mi(B)=9, Mi(A)=1: the paper states the
+// grid file splits B's dimension nine times more frequently than A's.
+func TestSplitWeightsMatchSection72(t *testing.T) {
+	pp := PlanParams{CPms: 1, CSms: 0, Processors: 32, Cardinality: 100000}
+	qs := []QuerySpec{
+		{Name: "QA", Attr: 0, TuplesPerQuery: 1, Frequency: 0.5, CPUms: 1},    // Mi = 1
+		{Name: "QB", Attr: 1, TuplesPerQuery: 300, Frequency: 0.5, CPUms: 81}, // Mi = 9
+	}
+	p, err := ComputePlan(qs, pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := p.SplitWeights[1] / p.SplitWeights[0]; !almost(ratio, 9, 1e-9) {
+		t.Fatalf("split weight ratio B:A = %g, want 9", ratio)
+	}
+}
+
+func TestComputePlanValidation(t *testing.T) {
+	good := []QuerySpec{{Name: "Q", Attr: 0, TuplesPerQuery: 1, Frequency: 1, CPUms: 1}}
+	cases := []struct {
+		qs []QuerySpec
+		pp PlanParams
+	}{
+		{nil, defaultPP()},
+		{good, PlanParams{CPms: 0, CSms: 0, Processors: 1, Cardinality: 1}},
+		{good, PlanParams{CPms: 1, CSms: -1, Processors: 1, Cardinality: 1}},
+		{good, PlanParams{CPms: 1, CSms: 0, Processors: 0, Cardinality: 1}},
+		{good, PlanParams{CPms: 1, CSms: 0, Processors: 1, Cardinality: 0}},
+		{[]QuerySpec{{Name: "bad", Attr: 0, TuplesPerQuery: 0, Frequency: 1}}, defaultPP()},
+		{[]QuerySpec{{Name: "bad", Attr: 0, TuplesPerQuery: 1, Frequency: -1}}, defaultPP()},
+		{[]QuerySpec{{Name: "zero", Attr: 0, TuplesPerQuery: 1, Frequency: 0}}, defaultPP()},
+	}
+	for i, c := range cases {
+		if _, err := ComputePlan(c.qs, c.pp); err == nil {
+			t.Errorf("case %d: ComputePlan accepted invalid input", i)
+		}
+	}
+}
+
+func TestResponseTimeClampsMBelowOne(t *testing.T) {
+	pp := defaultPP()
+	if ResponseTime(0.5, 10, 10, 10, 10, pp) != ResponseTime(1, 10, 10, 10, 10, pp) {
+		t.Fatal("M below 1 should evaluate as 1")
+	}
+}

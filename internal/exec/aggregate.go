@@ -1,0 +1,202 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Parallel aggregation is the other dataflow the Gamma substrate runs
+// beside selection and join: every node computes partial aggregates over
+// its fragment (optionally filtered by a predicate and routed through the
+// declustering strategy's localization), and the scheduler combines the
+// partials. COUNT/SUM/MIN/MAX decompose exactly this way; AVG is SUM/COUNT
+// at the coordinator.
+
+// AggKind selects the aggregate function.
+type AggKind int
+
+// Supported aggregates.
+const (
+	AggCount AggKind = iota
+	AggSum
+	AggMin
+	AggMax
+)
+
+func (k AggKind) String() string {
+	switch k {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return "unknown"
+	}
+}
+
+// AggSpec describes one aggregate query: the function over Attr for the
+// tuples matching Pred (Pred.Attr also drives routing, so a predicate on a
+// partitioning attribute localizes the aggregation).
+type AggSpec struct {
+	Relation string
+	Kind     AggKind
+	Attr     int
+	Pred     core.Predicate
+	Access   AccessKind
+}
+
+// AggResult is a completed aggregate.
+type AggResult struct {
+	ID             int64
+	Value          int64
+	Tuples         int // tuples that matched the predicate
+	ProcessorsUsed int
+	Submitted      sim.Time
+	Completed      sim.Time
+}
+
+// ResponseMS reports the elapsed simulated time in milliseconds.
+func (r AggResult) ResponseMS() float64 {
+	return sim.Duration(r.Completed - r.Submitted).Milliseconds()
+}
+
+// aggOp asks a node for its partial aggregate.
+type aggOp struct {
+	QueryID  int64
+	Relation string
+	Kind     AggKind
+	Attr     int
+	Pred     core.Predicate
+	Access   AccessKind
+	ReplyTo  int
+}
+
+// aggPartial is one node's contribution.
+type aggPartial struct {
+	QueryID int64
+	Node    int
+	Value   int64
+	Tuples  int
+}
+
+// runAggregate computes the node-local partial: the same access path a
+// selection would use, then a per-tuple aggregation charge, and a
+// fixed-size partial result back to the scheduler.
+func (n *Node) runAggregate(p *sim.Proc, req aggOp) {
+	frag := n.fragment(req.Relation)
+	var acc storage.Access
+	switch req.Access {
+	case AccessClustered:
+		acc = frag.SearchClustered(req.Pred.Lo, req.Pred.Hi)
+	case AccessNonClustered:
+		acc = frag.SearchNonClustered(req.Pred.Attr, req.Pred.Lo, req.Pred.Hi)
+	default:
+		acc = frag.Scan(req.Pred.Attr, req.Pred.Lo, req.Pred.Hi)
+	}
+	n.chargeAccess(p, acc)
+	n.OpsExecuted++
+
+	var value int64
+	first := true
+	for _, t := range acc.Tuples {
+		n.CPU.Execute(p, n.costs.JoinProbeInstr) // per-tuple aggregation work
+		v := t.Attrs[req.Attr]
+		switch req.Kind {
+		case AggCount:
+			value++
+		case AggSum:
+			value += v
+		case AggMin:
+			if first || v < value {
+				value = v
+			}
+		case AggMax:
+			if first || v > value {
+				value = v
+			}
+		}
+		first = false
+	}
+	n.net.Send(p, n.CPU, hw.Message{
+		From: n.ID, To: req.ReplyTo, Bytes: controlBytes,
+		Payload: aggPartial{QueryID: req.QueryID, Node: n.ID, Value: value, Tuples: len(acc.Tuples)},
+	})
+}
+
+// ExecuteAggregate runs one aggregate query from the calling process,
+// routing through the relation's declustering strategy exactly as a
+// selection would (BERD two-step routing degrades to all processors here;
+// the auxiliary step yields TIDs, which partial aggregation does not need).
+func (h *Host) ExecuteAggregate(p *sim.Proc, spec AggSpec) AggResult {
+	placement, ok := h.placements[spec.Relation]
+	if !ok {
+		panic(fmt.Sprintf("exec: unknown relation %q", spec.Relation))
+	}
+	h.nextQID++
+	qid := h.nextQID
+	res := AggResult{ID: qid, Submitted: p.Now()}
+	mb := sim.NewMailbox[any](h.eng, fmt.Sprintf("host.agg%d", qid))
+	h.pending[qid] = mb
+	defer delete(h.pending, qid)
+
+	p.Hold(h.params.InstrTime(h.costs.PlanInstr))
+	route := placement.Route(spec.Pred)
+	if route.EntriesSearched > 0 {
+		p.Hold(sim.Milliseconds(h.costs.CSms * float64(route.EntriesSearched)))
+	}
+	participants := route.Participants
+	if len(route.Aux) > 0 {
+		// Aggregation needs only the owning processors; without running
+		// the auxiliary step we conservatively ask everyone.
+		participants = allNodes(placement.Processors())
+	}
+
+	for _, node := range participants {
+		h.net.Send(p, nil, hw.Message{
+			From: h.ID, To: node, Bytes: controlBytes,
+			Payload: aggOp{QueryID: qid, Relation: spec.Relation, Kind: spec.Kind,
+				Attr: spec.Attr, Pred: spec.Pred, Access: spec.Access, ReplyTo: h.ID},
+		})
+	}
+	first := true
+	for i := 0; i < len(participants); i++ {
+		part := waitFor[aggPartial](p, mb)
+		res.Tuples += part.Tuples
+		if part.Tuples == 0 {
+			continue
+		}
+		switch spec.Kind {
+		case AggCount, AggSum:
+			res.Value += part.Value
+		case AggMin:
+			if first || part.Value < res.Value {
+				res.Value = part.Value
+			}
+		case AggMax:
+			if first || part.Value > res.Value {
+				res.Value = part.Value
+			}
+		}
+		first = false
+	}
+	res.ProcessorsUsed = len(participants)
+	res.Completed = p.Now()
+	h.QueriesRun++
+	return res
+}
+
+func allNodes(p int) []int {
+	out := make([]int, p)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

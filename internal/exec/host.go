@@ -1,0 +1,210 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"sort"
+)
+
+// QueryResult summarizes one executed query.
+type QueryResult struct {
+	ID             int64
+	Pred           core.Predicate
+	Tuples         int
+	ProcessorsUsed int // distinct processors that did work (aux + operators)
+	AuxProcessors  int // BERD first-step processors among them
+	Submitted      sim.Time
+	Completed      sim.Time
+}
+
+// ResponseMS reports the query's response time in milliseconds.
+func (r QueryResult) ResponseMS() float64 {
+	return sim.Duration(r.Completed - r.Submitted).Milliseconds()
+}
+
+// Host is the scheduler node of Figure 7: it runs the Query Manager (parse,
+// plan, localize via the catalog) and the Scheduler (start operators on the
+// participating nodes, collect results, commit). Following the paper's
+// model — only operator nodes carry CPUs; the Query Manager, Scheduler and
+// System Catalog are stand-alone coordination modules — the host's work is
+// pure delay on each query's coordinator process rather than contention on
+// a shared processor. Per-participant costs (message handling, operator
+// start-up) are charged where they belong: on the operator nodes.
+type Host struct {
+	ID     int // network endpoint (by convention: last)
+	net    *hw.Network
+	eng    *sim.Engine
+	params hw.Params
+	costs  Costs
+
+	placements  map[string]core.Placement
+	defaultName string
+
+	// BERDFetchByTID makes BERD's second step fetch tuples by TID instead
+	// of re-executing the predicate through each identified processor's
+	// local index (the default, per Section 2: the system "directs the
+	// query to these processors"). TID fetching is kept as an ablation: it
+	// saves the index probe but costs one random I/O per tuple.
+	BERDFetchByTID bool
+
+	nextQID int64
+	pending map[int64]*sim.Mailbox[any]
+
+	// Stats.
+	QueriesRun int64
+}
+
+// NewHost wires the scheduler node. Relations are attached with
+// AddRelation; the first becomes the default for Execute.
+func NewHost(eng *sim.Engine, id int, params hw.Params, net *hw.Network, costs Costs) *Host {
+	return &Host{
+		ID: id, net: net, eng: eng,
+		params: params, costs: costs,
+		placements: make(map[string]core.Placement),
+		pending:    make(map[int64]*sim.Mailbox[any]),
+	}
+}
+
+// AddRelation registers a declustered relation with the Query Manager.
+func (h *Host) AddRelation(name string, pl core.Placement) {
+	if _, dup := h.placements[name]; dup {
+		panic(fmt.Sprintf("exec: relation %q already registered", name))
+	}
+	h.placements[name] = pl
+	if h.defaultName == "" {
+		h.defaultName = name
+	}
+}
+
+// Start launches the host's message dispatcher, which demultiplexes operator
+// and auxiliary results to the coordinator process of the owning query.
+func (h *Host) Start() {
+	h.eng.Spawn("host.dispatch", func(p *sim.Proc) {
+		inbox := h.net.Inbox(h.ID)
+		for {
+			m := inbox.Get(p)
+			var qid int64
+			switch r := m.Payload.(type) {
+			case opResult:
+				qid = r.QueryID
+			case auxResult:
+				qid = r.QueryID
+			case joinDone:
+				qid = r.QueryID
+			case aggPartial:
+				qid = r.QueryID
+			case nil:
+				continue // multi-packet fragment; payload rides the last one
+			default:
+				panic(fmt.Sprintf("exec: host: unexpected message %T", r))
+			}
+			mb, ok := h.pending[qid]
+			if !ok {
+				panic(fmt.Sprintf("exec: host: result for unknown query %d", qid))
+			}
+			mb.Put(m.Payload)
+		}
+	})
+}
+
+// AccessChooser maps a predicate to the access method its operators use;
+// the workload defines it (Section 6: non-clustered index on A, clustered
+// index on B).
+type AccessChooser func(pred core.Predicate) AccessKind
+
+// Execute runs one query against the default relation. See ExecuteOn.
+func (h *Host) Execute(p *sim.Proc, pred core.Predicate, access AccessChooser) QueryResult {
+	return h.ExecuteOn(p, h.defaultName, pred, access)
+}
+
+// ExecuteOn runs one query against a named relation to completion from the
+// calling process (a terminal): plan, localize, schedule operators, collect
+// results. It blocks for the query's full lifetime and returns its
+// statistics.
+func (h *Host) ExecuteOn(p *sim.Proc, relation string, pred core.Predicate, access AccessChooser) QueryResult {
+	placement, ok := h.placements[relation]
+	if !ok {
+		panic(fmt.Sprintf("exec: unknown relation %q", relation))
+	}
+	h.nextQID++
+	qid := h.nextQID
+	res := QueryResult{ID: qid, Pred: pred, Submitted: p.Now()}
+	mb := sim.NewMailbox[any](h.eng, fmt.Sprintf("host.q%d", qid))
+	h.pending[qid] = mb
+	defer delete(h.pending, qid)
+
+	// Query Manager: parse and plan (coordination delay, not CPU
+	// contention — see the Host doc comment).
+	p.Hold(h.params.InstrTime(h.costs.PlanInstr))
+	route := placement.Route(pred)
+	if route.EntriesSearched > 0 {
+		// Catalog directory search: CS per examined entry (Equation 1's
+		// search term).
+		p.Hold(sim.Milliseconds(h.costs.CSms * float64(route.EntriesSearched)))
+	}
+
+	used := map[int]bool{}
+	participants := route.Participants
+	tidsByProc := map[int][]int64(nil)
+
+	// BERD two-step: consult the auxiliary relation first.
+	if len(route.Aux) > 0 {
+		for _, node := range route.Aux {
+			used[node] = true
+			h.net.Send(p, nil, hw.Message{
+				From: h.ID, To: node, Bytes: controlBytes,
+				Payload: auxLookup{QueryID: qid, Relation: relation, Pred: pred, ReplyTo: h.ID},
+			})
+		}
+		res.AuxProcessors = len(route.Aux)
+		tidsByProc = make(map[int][]int64)
+		for i := 0; i < len(route.Aux); i++ {
+			ar := waitFor[auxResult](p, mb)
+			for proc, tids := range ar.TIDsByProc {
+				tidsByProc[proc] = append(tidsByProc[proc], tids...)
+			}
+		}
+		participants = participants[:0]
+		for proc := range tidsByProc {
+			participants = append(participants, proc)
+		}
+		// Map iteration order is randomized; keep the schedule (and hence
+		// the whole simulation) deterministic.
+		sort.Ints(participants)
+	}
+
+	// Scheduler: start one operator per participant.
+	for _, node := range participants {
+		used[node] = true
+		op := startOp{QueryID: qid, Relation: relation, Pred: pred, ReplyTo: h.ID, Access: access(pred)}
+		if tidsByProc != nil && h.BERDFetchByTID {
+			op.Access = AccessTIDFetch
+			op.TIDs = tidsByProc[node]
+		}
+		h.net.Send(p, nil, hw.Message{
+			From: h.ID, To: node, Bytes: controlBytes,
+			Payload: op,
+		})
+	}
+	for i := 0; i < len(participants); i++ {
+		or := waitFor[opResult](p, mb)
+		res.Tuples += or.Tuples
+	}
+
+	res.ProcessorsUsed = len(used)
+	res.Completed = p.Now()
+	h.QueriesRun++
+	return res
+}
+
+// waitFor reads messages until one of type T arrives.
+func waitFor[T any](p *sim.Proc, mb *sim.Mailbox[any]) T {
+	for {
+		if v, ok := mb.Get(p).(T); ok {
+			return v
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// The parallel hash join is the Gamma substrate's signature dataflow (the
+// paper's Operator Manager "models the relational operators"): the build
+// relation is scanned in parallel on its home nodes and repartitioned by
+// hashing the join attribute through a split table; the receiving join
+// operators build in-memory hash tables; the probe relation streams through
+// the same split table and probes. End-of-stream control messages close
+// each phase, exactly as Gamma's split tables did.
+//
+// When both relations are hash-declustered on their join attributes with
+// the same randomizing function (core.HashPlacement), the split table
+// degenerates to the identity and the join runs entirely node-locally —
+// the join-locality benefit of declustering by join key.
+
+// JoinSpec describes one equi-join.
+type JoinSpec struct {
+	BuildRelation string
+	BuildAttr     int
+	ProbeRelation string
+	ProbeAttr     int
+	// BuildPred/ProbePred optionally filter the inputs during the scans
+	// (zero values scan everything).
+	BuildPred *core.Predicate
+	ProbePred *core.Predicate
+}
+
+// JoinResult summarizes one executed join.
+type JoinResult struct {
+	ID             int64
+	Matches        int
+	BuildTuples    int
+	ProbeTuples    int
+	Repartitioned  bool // false when co-location made every transfer local
+	ProcessorsUsed int
+	Submitted      sim.Time
+	Completed      sim.Time
+}
+
+// ResponseMS reports the join's elapsed simulated time in milliseconds.
+func (r JoinResult) ResponseMS() float64 {
+	return sim.Duration(r.Completed - r.Submitted).Milliseconds()
+}
+
+// join message types.
+type joinPhase int
+
+const (
+	phaseBuild joinPhase = iota
+	phaseProbe
+)
+
+// joinScan asks a node to scan its fragment and route tuples through the
+// split table.
+type joinScan struct {
+	QueryID  int64
+	Relation string
+	Attr     int
+	Phase    joinPhase
+	Pred     *core.Predicate
+	// Local, when true, short-circuits the split table: every tuple stays
+	// on the scanning node (co-located join).
+	Local    bool
+	Targets  int // join operators run on nodes 0..Targets-1
+	Scanners int // how many scanners feed this phase (for end-of-stream)
+	ReplyTo  int
+}
+
+// joinBatch carries repartitioned tuples to a join operator. ReplyTo and
+// Scanners ride along so the receiving node can start the operator even
+// when a remote batch outruns its own scan request.
+type joinBatch struct {
+	QueryID  int64
+	Phase    joinPhase
+	Attr     int
+	Tuples   []storage.Tuple
+	ReplyTo  int
+	Scanners int
+}
+
+// joinEnd signals that one scanner has finished a phase.
+type joinEnd struct {
+	QueryID  int64
+	Phase    joinPhase
+	ReplyTo  int
+	Scanners int
+}
+
+// joinDone reports one join operator's matches to the scheduler.
+type joinDone struct {
+	QueryID int64
+	Node    int
+	Matches int
+	Built   int // build tuples this operator received
+	Probed  int // probe tuples this operator processed
+}
+
+// joinWorker is the per-node join operator for one query: it owns the hash
+// table and a private mailbox through which the Operator Manager feeds it
+// batches and end-of-stream markers.
+type joinWorker struct {
+	inbox *sim.Mailbox[any]
+}
+
+// routeJoinMsg delivers a join message to the query's worker, creating it
+// on first contact.
+func (n *Node) routeJoinMsg(qid int64, replyTo int, scanners int, msg any) {
+	w := n.joins[qid]
+	if w == nil {
+		w = &joinWorker{inbox: sim.NewMailbox[any](n.eng, fmt.Sprintf("node%d.join.q%d", n.ID, qid))}
+		n.joins[qid] = w
+		n.eng.Spawn(fmt.Sprintf("node%d.joinop.q%d", n.ID, qid), func(p *sim.Proc) {
+			n.runJoinOperator(p, qid, replyTo, scanners, w)
+			delete(n.joins, qid)
+		})
+	}
+	w.inbox.Put(msg)
+}
+
+// runJoinScan scans the local fragment of one join input and routes each
+// tuple through the split table (hash on the join attribute modulo the
+// number of join operators), batching per destination. A final joinEnd goes
+// to every join operator so it can detect end-of-stream.
+func (n *Node) runJoinScan(p *sim.Proc, req joinScan) {
+	frag := n.fragment(req.Relation)
+	var acc storage.Access
+	if req.Pred != nil {
+		acc = frag.Scan(req.Pred.Attr, req.Pred.Lo, req.Pred.Hi)
+	} else {
+		lo, hi := minMaxInt64()
+		acc = frag.Scan(req.Attr, lo, hi)
+	}
+	n.chargeAccess(p, acc)
+	n.OpsExecuted++
+
+	// Split table: partition the qualifying tuples by join-attribute hash.
+	buckets := make(map[int][]storage.Tuple)
+	for _, t := range acc.Tuples {
+		dst := n.ID
+		if !req.Local {
+			dst = core.JoinBucket(t.Attrs[req.Attr], req.Targets)
+		}
+		buckets[dst] = append(buckets[dst], t)
+		n.CPU.Execute(p, n.costs.JoinHashInstr)
+	}
+	dsts := make([]int, 0, len(buckets))
+	for d := range buckets {
+		dsts = append(dsts, d)
+	}
+	sort.Ints(dsts) // deterministic send order
+	for _, dst := range dsts {
+		tuples := buckets[dst]
+		n.TuplesShipped += int64(len(tuples))
+		batch := joinBatch{QueryID: req.QueryID, Phase: req.Phase, Attr: req.Attr,
+			Tuples: tuples, ReplyTo: req.ReplyTo, Scanners: req.Scanners}
+		if dst == n.ID {
+			// Local delivery: no network, straight to the worker.
+			n.routeJoinMsg(req.QueryID, req.ReplyTo, req.Scanners, batch)
+			continue
+		}
+		n.net.Send(p, n.CPU, hw.Message{
+			From: n.ID, To: dst,
+			Bytes:   n.params.TupleBytes(len(tuples)) + controlBytes,
+			Payload: batch,
+		})
+	}
+	// End-of-stream to every join operator.
+	for dst := 0; dst < req.Targets; dst++ {
+		end := joinEnd{QueryID: req.QueryID, Phase: req.Phase,
+			ReplyTo: req.ReplyTo, Scanners: req.Scanners}
+		if dst == n.ID {
+			n.routeJoinMsg(req.QueryID, req.ReplyTo, req.Scanners, end)
+			continue
+		}
+		n.net.Send(p, n.CPU, hw.Message{
+			From: n.ID, To: dst, Bytes: controlBytes, Payload: end,
+		})
+	}
+}
+
+// runJoinOperator consumes build batches into a hash table, then probes it
+// with the probe stream, and finally reports its match count to the
+// scheduler. Probe batches arriving before the build phase has fully closed
+// are buffered, preserving the build-before-probe barrier without global
+// synchronization.
+func (n *Node) runJoinOperator(p *sim.Proc, qid int64, replyTo, scanners int, w *joinWorker) {
+	table := make(map[int64][]storage.Tuple)
+	var pendingProbe []joinBatch
+	buildEnds, probeEnds := 0, 0
+	matches, builtCount, probedCount := 0, 0, 0
+	built := false
+
+	probe := func(b joinBatch) {
+		for _, t := range b.Tuples {
+			n.CPU.Execute(p, n.costs.JoinProbeInstr)
+			matches += len(table[t.Attrs[b.Attr]])
+		}
+		probedCount += len(b.Tuples)
+	}
+
+	for buildEnds < scanners || probeEnds < scanners {
+		switch m := w.inbox.Get(p).(type) {
+		case joinBatch:
+			if m.Phase == phaseBuild {
+				for _, t := range m.Tuples {
+					n.CPU.Execute(p, n.costs.JoinBuildInstr)
+					table[t.Attrs[m.Attr]] = append(table[t.Attrs[m.Attr]], t)
+				}
+				builtCount += len(m.Tuples)
+			} else if built {
+				probe(m)
+			} else {
+				pendingProbe = append(pendingProbe, m)
+			}
+		case joinEnd:
+			if m.Phase == phaseBuild {
+				buildEnds++
+				if buildEnds == scanners {
+					built = true
+					for _, b := range pendingProbe {
+						probe(b)
+					}
+					pendingProbe = nil
+				}
+			} else {
+				probeEnds++
+			}
+		default:
+			panic(fmt.Sprintf("exec: join operator got %T", m))
+		}
+	}
+	n.OpsExecuted++
+	// Ship the result (matched pairs) with the completion report.
+	bytes := matches*2*n.params.TupleSize + controlBytes
+	n.net.Send(p, n.CPU, hw.Message{
+		From: n.ID, To: replyTo, Bytes: bytes,
+		Payload: joinDone{QueryID: qid, Node: n.ID, Matches: matches,
+			Built: builtCount, Probed: probedCount},
+	})
+}
+
+// ExecuteJoin runs an equi-join between two registered relations from the
+// calling process and blocks until the matched count is assembled.
+func (h *Host) ExecuteJoin(p *sim.Proc, spec JoinSpec) JoinResult {
+	build, ok := h.placements[spec.BuildRelation]
+	if !ok {
+		panic(fmt.Sprintf("exec: unknown relation %q", spec.BuildRelation))
+	}
+	probe, ok := h.placements[spec.ProbeRelation]
+	if !ok {
+		panic(fmt.Sprintf("exec: unknown relation %q", spec.ProbeRelation))
+	}
+	h.nextQID++
+	qid := h.nextQID
+	res := JoinResult{ID: qid, Submitted: p.Now(), Repartitioned: true}
+	mb := sim.NewMailbox[any](h.eng, fmt.Sprintf("host.join%d", qid))
+	h.pending[qid] = mb
+	defer delete(h.pending, qid)
+
+	p.Hold(h.params.InstrTime(h.costs.PlanInstr))
+	targets := build.Processors()
+	if probe.Processors() != targets {
+		panic(fmt.Sprintf("exec: join inputs declustered over %d and %d processors",
+			targets, probe.Processors()))
+	}
+
+	// Co-location: both relations hash-declustered on their join
+	// attributes share the randomizing function, so every tuple's join
+	// partner already lives on its own node.
+	if hb, okB := build.(*core.HashPlacement); okB {
+		if hp, okP := probe.(*core.HashPlacement); okP {
+			if hb.Attr() == spec.BuildAttr && hp.Attr() == spec.ProbeAttr &&
+				hb.Processors() == probe.Processors() {
+				res.Repartitioned = false
+			}
+		}
+	}
+
+	scanners := targets // every node scans its fragment of each input
+	for _, phase := range []joinPhase{phaseBuild, phaseProbe} {
+		rel, attr, pred := spec.BuildRelation, spec.BuildAttr, spec.BuildPred
+		if phase == phaseProbe {
+			rel, attr, pred = spec.ProbeRelation, spec.ProbeAttr, spec.ProbePred
+		}
+		for node := 0; node < scanners; node++ {
+			h.net.Send(p, nil, hw.Message{
+				From: h.ID, To: node, Bytes: controlBytes,
+				Payload: joinScan{
+					QueryID: qid, Relation: rel, Attr: attr, Phase: phase,
+					Pred: pred, Local: !res.Repartitioned,
+					Targets: targets, Scanners: scanners, ReplyTo: h.ID,
+				},
+			})
+		}
+	}
+	for i := 0; i < targets; i++ {
+		d := waitFor[joinDone](p, mb)
+		res.Matches += d.Matches
+		res.BuildTuples += d.Built
+		res.ProbeTuples += d.Probed
+	}
+	res.ProcessorsUsed = targets
+	res.Completed = p.Now()
+	h.QueriesRun++
+	return res
+}
+
+// minMaxInt64 is the unbounded scan range.
+func minMaxInt64() (int64, int64) {
+	return -1 << 62, 1<<62 - 1
+}

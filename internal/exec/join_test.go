@@ -1,0 +1,326 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// joinRig builds a machine with two relations ("wisconsin" as R and a
+// second instance "s" as S) on nodes 0..p-1 plus the host.
+type joinRig struct {
+	eng  *sim.Engine
+	net  *hw.Network
+	host *Host
+	r, s *storage.Relation
+}
+
+func newJoinRig(t *testing.T, p int, rPl, sPl core.Placement) *joinRig {
+	t.Helper()
+	eng := sim.New()
+	params := hw.DefaultParams()
+	params.NumProcessors = p
+	costs := DefaultCosts()
+	streams := rng.NewFactory(5)
+
+	cpus := make([]*hw.CPU, p+1)
+	for i := 0; i < p; i++ {
+		cpus[i] = hw.NewCPU(eng, "cpu", params)
+	}
+	net := hw.NewNetwork(eng, params, cpus)
+
+	r := storage.GenerateWisconsin(storage.GenSpec{Name: "r", Cardinality: 300, Seed: 9})
+	s := storage.GenerateWisconsin(storage.GenSpec{Name: "s", Cardinality: 120, Seed: 10})
+	rig := &joinRig{eng: eng, net: net, r: r, s: s}
+	layout := storage.Layout{TuplesPerPage: 8, IndexFanout: 8, IndexLeafCap: 8}
+	for i := 0; i < p; i++ {
+		disk := hw.NewDisk(eng, "disk", params, cpus[i], streams.Stream("lat"))
+		pool := buffer.NewPool(eng, "buf", 16, disk)
+		n := NewNode(eng, i, params, costs, net, cpus[i], disk, pool)
+		for _, pair := range []struct {
+			rel *storage.Relation
+			pl  core.Placement
+		}{{r, rPl}, {s, sPl}} {
+			var tuples []storage.Tuple
+			for _, tup := range pair.rel.Tuples {
+				if pair.pl.HomeOf(tup) == i {
+					tuples = append(tuples, tup)
+				}
+			}
+			alloc := storage.NewAllocator(10000)
+			frag := storage.BuildFragment(i, tuples, storage.Unique2, layout, alloc)
+			frag.AddIndex(storage.Unique2, alloc)
+			frag.AddIndex(storage.Unique1, alloc)
+			n.AddFragment(pair.rel.Name, frag)
+		}
+		n.Start()
+	}
+	rig.host = NewHost(eng, p, params, net, costs)
+	rig.host.AddRelation("r", rPl)
+	rig.host.AddRelation("s", sPl)
+	rig.host.Start()
+	return rig
+}
+
+func (r *joinRig) join(t *testing.T, spec JoinSpec) JoinResult {
+	t.Helper()
+	var res JoinResult
+	r.eng.Spawn("probe", func(p *sim.Proc) {
+		res = r.host.ExecuteJoin(p, spec)
+		r.eng.Stop()
+	})
+	if err := r.eng.RunUntil(sim.Time(10 * 60 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("join never completed")
+	}
+	return res
+}
+
+// naiveJoinCount counts matches the slow way.
+func naiveJoinCount(r, s *storage.Relation, rAttr, sAttr int,
+	rPred, sPred *core.Predicate) int {
+	keep := func(t storage.Tuple, pred *core.Predicate) bool {
+		if pred == nil {
+			return true
+		}
+		v := t.Attrs[pred.Attr]
+		return v >= pred.Lo && v <= pred.Hi
+	}
+	byKey := map[int64]int{}
+	for _, t := range r.Tuples {
+		if keep(t, rPred) {
+			byKey[t.Attrs[rAttr]]++
+		}
+	}
+	matches := 0
+	for _, t := range s.Tuples {
+		if keep(t, sPred) {
+			matches += byKey[t.Attrs[sAttr]]
+		}
+	}
+	return matches
+}
+
+func TestRepartitionedJoinCorrect(t *testing.T) {
+	r := storage.GenerateWisconsin(storage.GenSpec{Name: "r", Cardinality: 300, Seed: 9})
+	s := storage.GenerateWisconsin(storage.GenSpec{Name: "s", Cardinality: 120, Seed: 10})
+	rig := newJoinRig(t, 4,
+		core.NewRangeForRelation(r, storage.Unique1, 4),
+		core.NewRangeForRelation(s, storage.Unique2, 4))
+	spec := JoinSpec{
+		BuildRelation: "s", BuildAttr: storage.Unique1,
+		ProbeRelation: "r", ProbeAttr: storage.Unique1,
+	}
+	res := rig.join(t, spec)
+	want := naiveJoinCount(rig.s, rig.r, storage.Unique1, storage.Unique1, nil, nil)
+	if res.Matches != want {
+		t.Fatalf("matches = %d, want %d", res.Matches, want)
+	}
+	if !res.Repartitioned {
+		t.Fatal("range-declustered join must repartition")
+	}
+	if res.ProcessorsUsed != 4 {
+		t.Fatalf("used %d processors", res.ProcessorsUsed)
+	}
+	if res.ResponseMS() <= 0 {
+		t.Fatal("no simulated time elapsed")
+	}
+}
+
+func TestJoinWithPredicates(t *testing.T) {
+	r := storage.GenerateWisconsin(storage.GenSpec{Name: "r", Cardinality: 300, Seed: 9})
+	s := storage.GenerateWisconsin(storage.GenSpec{Name: "s", Cardinality: 120, Seed: 10})
+	rig := newJoinRig(t, 4,
+		core.NewRangeForRelation(r, storage.Unique1, 4),
+		core.NewRangeForRelation(s, storage.Unique1, 4))
+	bp := &core.Predicate{Attr: storage.Unique2, Lo: 0, Hi: 59}
+	pp := &core.Predicate{Attr: storage.Unique2, Lo: 0, Hi: 199}
+	spec := JoinSpec{
+		BuildRelation: "s", BuildAttr: storage.Unique1, BuildPred: bp,
+		ProbeRelation: "r", ProbeAttr: storage.Unique1, ProbePred: pp,
+	}
+	res := rig.join(t, spec)
+	want := naiveJoinCount(rig.s, rig.r, storage.Unique1, storage.Unique1, bp, pp)
+	if want == 0 {
+		t.Fatal("test construction: no matches expected at all")
+	}
+	if res.Matches != want {
+		t.Fatalf("matches = %d, want %d", res.Matches, want)
+	}
+}
+
+func TestCoLocatedJoinSkipsRepartitioning(t *testing.T) {
+	rig := newJoinRig(t, 4,
+		core.NewHash(storage.Unique1, 4),
+		core.NewHash(storage.Unique1, 4))
+	spec := JoinSpec{
+		BuildRelation: "s", BuildAttr: storage.Unique1,
+		ProbeRelation: "r", ProbeAttr: storage.Unique1,
+	}
+	before := totalSent(rig)
+	res := rig.join(t, spec)
+	want := naiveJoinCount(rig.s, rig.r, storage.Unique1, storage.Unique1, nil, nil)
+	if res.Matches != want {
+		t.Fatalf("matches = %d, want %d", res.Matches, want)
+	}
+	if res.Repartitioned {
+		t.Fatal("hash-on-join-key relations should be detected as co-located")
+	}
+	coPackets := totalSent(rig) - before
+
+	// The same join without co-location ships tuples between nodes.
+	r := storage.GenerateWisconsin(storage.GenSpec{Name: "r", Cardinality: 300, Seed: 9})
+	s := storage.GenerateWisconsin(storage.GenSpec{Name: "s", Cardinality: 120, Seed: 10})
+	rig2 := newJoinRig(t, 4,
+		core.NewRangeForRelation(r, storage.Unique2, 4),
+		core.NewRangeForRelation(s, storage.Unique2, 4))
+	before2 := totalSent(rig2)
+	res2 := rig2.join(t, spec)
+	if res2.Matches != want {
+		t.Fatalf("repartitioned variant disagrees: %d vs %d", res2.Matches, want)
+	}
+	if shipped := totalSent(rig2) - before2; shipped <= coPackets {
+		t.Fatalf("repartitioned join sent %d packets, co-located %d", shipped, coPackets)
+	}
+}
+
+func totalSent(r *joinRig) int64 {
+	var t int64
+	for i := 0; i < 4; i++ {
+		t += r.net.Sent(i)
+	}
+	return t
+}
+
+func TestJoinUnknownRelationPanics(t *testing.T) {
+	rig := newJoinRig(t, 2,
+		core.NewHash(storage.Unique1, 2), core.NewHash(storage.Unique1, 2))
+	rig.eng.Spawn("probe", func(p *sim.Proc) {
+		rig.host.ExecuteJoin(p, JoinSpec{BuildRelation: "nope", ProbeRelation: "r"})
+	})
+	if err := rig.eng.RunUntil(sim.Time(10 * sim.Second)); err == nil {
+		t.Fatal("unknown relation should surface as an error")
+	}
+}
+
+func TestSelectsAndJoinsInterleave(t *testing.T) {
+	rig := newJoinRig(t, 4,
+		core.NewHash(storage.Unique1, 4), core.NewHash(storage.Unique1, 4))
+	want := naiveJoinCount(rig.s, rig.r, storage.Unique1, storage.Unique1, nil, nil)
+	done := 0
+	rig.eng.Spawn("joiner", func(p *sim.Proc) {
+		res := rig.host.ExecuteJoin(p, JoinSpec{
+			BuildRelation: "s", BuildAttr: storage.Unique1,
+			ProbeRelation: "r", ProbeAttr: storage.Unique1,
+		})
+		if res.Matches != want {
+			t.Errorf("join matches = %d, want %d", res.Matches, want)
+		}
+		done++
+	})
+	rig.eng.Spawn("selector", func(p *sim.Proc) {
+		res := rig.host.ExecuteOn(p, "r",
+			core.Predicate{Attr: storage.Unique2, Lo: 100, Hi: 109}, chooser)
+		if res.Tuples != 10 {
+			t.Errorf("select got %d tuples", res.Tuples)
+		}
+		done++
+	})
+	if err := rig.eng.RunUntil(sim.Time(10 * 60 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if done != 2 {
+		t.Fatalf("only %d of 2 queries completed", done)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	rig := newJoinRig(t, 4,
+		core.NewRangeForRelation(
+			storage.GenerateWisconsin(storage.GenSpec{Name: "r", Cardinality: 300, Seed: 9}),
+			storage.Unique1, 4),
+		core.NewHash(storage.Unique1, 4))
+	pred := core.Predicate{Attr: storage.Unique2, Lo: 50, Hi: 149}
+	run := func(kind AggKind, attr int) AggResult {
+		var res AggResult
+		rig.eng.Resume() // continue after the previous query's Stop
+		rig.eng.Spawn("agg", func(p *sim.Proc) {
+			res = rig.host.ExecuteAggregate(p, AggSpec{
+				Relation: "r", Kind: kind, Attr: attr,
+				Pred: pred, Access: AccessClustered,
+			})
+			rig.eng.Stop()
+		})
+		if err := rig.eng.RunUntil(sim.Time(10 * 60 * sim.Second)); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	// Ground truth over the 100 tuples with unique2 in [50,149].
+	var wantSum, wantMin, wantMax int64
+	first := true
+	for _, tup := range rig.r.Tuples {
+		v2 := tup.Attrs[storage.Unique2]
+		if v2 < 50 || v2 > 149 {
+			continue
+		}
+		v := tup.Attrs[storage.Unique1]
+		wantSum += v
+		if first || v < wantMin {
+			wantMin = v
+		}
+		if first || v > wantMax {
+			wantMax = v
+		}
+		first = false
+	}
+	if got := run(AggCount, storage.Unique1); got.Value != 100 || got.Tuples != 100 {
+		t.Fatalf("count = %d (%d tuples)", got.Value, got.Tuples)
+	}
+	if got := run(AggSum, storage.Unique1); got.Value != wantSum {
+		t.Fatalf("sum = %d, want %d", got.Value, wantSum)
+	}
+	if got := run(AggMin, storage.Unique1); got.Value != wantMin {
+		t.Fatalf("min = %d, want %d", got.Value, wantMin)
+	}
+	if got := run(AggMax, storage.Unique1); got.Value != wantMax {
+		t.Fatalf("max = %d, want %d", got.Value, wantMax)
+	}
+}
+
+func TestAggregateEmptyRange(t *testing.T) {
+	rig := newJoinRig(t, 2,
+		core.NewHash(storage.Unique1, 2), core.NewHash(storage.Unique1, 2))
+	var res AggResult
+	rig.eng.Spawn("agg", func(p *sim.Proc) {
+		res = rig.host.ExecuteAggregate(p, AggSpec{
+			Relation: "r", Kind: AggMax, Attr: storage.Unique1,
+			Pred:   core.Predicate{Attr: storage.Unique2, Lo: 90000, Hi: 90010},
+			Access: AccessClustered,
+		})
+		rig.eng.Stop()
+	})
+	if err := rig.eng.RunUntil(sim.Time(60 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if res.Tuples != 0 || res.Value != 0 {
+		t.Fatalf("empty aggregate = %d over %d tuples", res.Value, res.Tuples)
+	}
+}
+
+func TestAggKindString(t *testing.T) {
+	for k, want := range map[AggKind]string{
+		AggCount: "count", AggSum: "sum", AggMin: "min", AggMax: "max", AggKind(9): "unknown",
+	} {
+		if k.String() != want {
+			t.Fatalf("AggKind(%d) = %q", k, k.String())
+		}
+	}
+}

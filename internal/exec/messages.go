@@ -1,0 +1,80 @@
+// Package exec implements query execution on the simulated Gamma machine:
+// the Operator Manager running selections on each node, the Query Manager
+// and Scheduler coordinating multi-site queries on the host, and BERD's
+// two-step auxiliary-relation protocol. It is the layer that turns a
+// declustering strategy's routing decision into simulated CPU, disk and
+// network activity.
+package exec
+
+import (
+	"repro/internal/core"
+)
+
+// AccessKind selects the access method an operator uses.
+type AccessKind int
+
+// Access methods of the workload (Section 6) plus the fallback scan.
+const (
+	AccessClustered    AccessKind = iota // clustered B+-tree range scan
+	AccessNonClustered                   // non-clustered B+-tree + tuple fetches
+	AccessTIDFetch                       // direct fetch by TID (BERD step two)
+	AccessSeqScan                        // full sequential scan (no usable index)
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case AccessClustered:
+		return "clustered"
+	case AccessNonClustered:
+		return "non-clustered"
+	case AccessTIDFetch:
+		return "tid-fetch"
+	case AccessSeqScan:
+		return "seq-scan"
+	default:
+		return "unknown"
+	}
+}
+
+// controlBytes is the size of a control message (start, done); the paper's
+// Table 2 prices a 100-byte message.
+const controlBytes = 100
+
+// auxEntryBytes is the wire size of one auxiliary-relation result entry
+// (value + TID + processor).
+const auxEntryBytes = 16
+
+// startOp asks a node's Operator Manager to run a selection fragment.
+type startOp struct {
+	QueryID  int64
+	Relation string
+	Pred     core.Predicate
+	Access   AccessKind
+	TIDs     []int64 // AccessTIDFetch only: this node's qualifying TIDs
+	ReplyTo  int     // scheduler node
+}
+
+// opResult carries an operator's qualifying tuples back to the scheduler;
+// its arrival also serves as the operator's completion signal.
+type opResult struct {
+	QueryID int64
+	Node    int
+	Tuples  int
+}
+
+// auxLookup asks a node to search its fragment of a BERD auxiliary relation.
+type auxLookup struct {
+	QueryID  int64
+	Relation string
+	Pred     core.Predicate
+	ReplyTo  int
+}
+
+// auxResult returns the home processors (and TIDs) of qualifying tuples.
+type auxResult struct {
+	QueryID int64
+	Node    int
+	// TIDsByProc maps home processor -> qualifying TIDs stored there.
+	TIDsByProc map[int][]int64
+	Entries    int
+}

@@ -1,0 +1,202 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Costs holds the execution-layer CPU constants that Table 2 does not give
+// directly (derived parameters; DESIGN.md §2.6).
+type Costs struct {
+	// IndexPageInstr is the CPU cost of searching one index page (a binary
+	// search, far cheaper than processing a 36-tuple data page).
+	IndexPageInstr int
+	// PlanInstr is the Query Manager's cost to parse and plan one query.
+	PlanInstr int
+	// CSms is the catalog directory-entry search cost, charged on the host
+	// per entry the optimizer examines (the paper's CS).
+	CSms float64
+	// Per-tuple join costs: hashing a tuple through the split table,
+	// inserting it into the build table, probing.
+	JoinHashInstr  int
+	JoinBuildInstr int
+	JoinProbeInstr int
+}
+
+// DefaultCosts returns the defaults documented in DESIGN.md.
+func DefaultCosts() Costs {
+	return Costs{
+		IndexPageInstr: 2000, PlanInstr: 1000, CSms: 0.003,
+		JoinHashInstr: 50, JoinBuildInstr: 100, JoinProbeInstr: 100,
+	}
+}
+
+// Node is one operator node of Figure 7: CPU + disk + buffer pool + the
+// local fragments of the declustered relations (and of any BERD auxiliary
+// relations), plus the Operator Manager process that serves incoming work.
+type Node struct {
+	ID     int
+	CPU    *hw.CPU
+	Disk   *hw.Disk
+	Pool   *buffer.Pool
+	params hw.Params
+	costs  Costs
+	net    *hw.Network
+	eng    *sim.Engine
+
+	frags map[string]*storage.Fragment
+	aux   map[string]map[int]*storage.AuxFragment // relation -> attr -> aux
+	joins map[int64]*joinWorker                   // live join operators by query
+
+	// Stats.
+	OpsExecuted   int64
+	TuplesShipped int64
+}
+
+// NewNode wires a node; fragments are attached by the machine builder.
+func NewNode(eng *sim.Engine, id int, params hw.Params, costs Costs, net *hw.Network,
+	cpu *hw.CPU, disk *hw.Disk, pool *buffer.Pool) *Node {
+	return &Node{
+		ID: id, CPU: cpu, Disk: disk, Pool: pool,
+		frags:  make(map[string]*storage.Fragment),
+		aux:    make(map[string]map[int]*storage.AuxFragment),
+		joins:  make(map[int64]*joinWorker),
+		params: params, costs: costs, net: net, eng: eng,
+	}
+}
+
+// AddFragment attaches the node's fragment of a relation.
+func (n *Node) AddFragment(relation string, f *storage.Fragment) {
+	if _, dup := n.frags[relation]; dup {
+		panic(fmt.Sprintf("exec: node %d already has a fragment of %s", n.ID, relation))
+	}
+	n.frags[relation] = f
+}
+
+// AddAux attaches the node's fragment of a BERD auxiliary relation.
+func (n *Node) AddAux(relation string, attr int, aux *storage.AuxFragment) {
+	if n.aux[relation] == nil {
+		n.aux[relation] = make(map[int]*storage.AuxFragment)
+	}
+	n.aux[relation][attr] = aux
+}
+
+// Fragment returns the node's fragment of a relation, or nil.
+func (n *Node) Fragment(relation string) *storage.Fragment { return n.frags[relation] }
+
+// fragment panics if the node lacks the relation — the routing layer sent
+// work to the wrong place.
+func (n *Node) fragment(relation string) *storage.Fragment {
+	f := n.frags[relation]
+	if f == nil {
+		panic(fmt.Sprintf("exec: node %d has no fragment of relation %q", n.ID, relation))
+	}
+	return f
+}
+
+// Start launches the node's Operator Manager: a dispatcher that spawns one
+// operator process per incoming request, so concurrent queries contend for
+// the node's CPU and disk exactly as on the real machine.
+func (n *Node) Start() {
+	n.eng.Spawn(fmt.Sprintf("node%d.opmgr", n.ID), func(p *sim.Proc) {
+		inbox := n.net.Inbox(n.ID)
+		for {
+			m := inbox.Get(p)
+			switch req := m.Payload.(type) {
+			case startOp:
+				n.eng.Spawn(fmt.Sprintf("node%d.op.q%d", n.ID, req.QueryID),
+					func(op *sim.Proc) { n.runSelect(op, req) })
+			case auxLookup:
+				n.eng.Spawn(fmt.Sprintf("node%d.aux.q%d", n.ID, req.QueryID),
+					func(op *sim.Proc) { n.runAuxLookup(op, req) })
+			case aggOp:
+				n.eng.Spawn(fmt.Sprintf("node%d.agg.q%d", n.ID, req.QueryID),
+					func(op *sim.Proc) { n.runAggregate(op, req) })
+			case joinScan:
+				n.eng.Spawn(fmt.Sprintf("node%d.joinscan.q%d", n.ID, req.QueryID),
+					func(op *sim.Proc) { n.runJoinScan(op, req) })
+			case joinBatch:
+				n.routeJoinMsg(req.QueryID, req.ReplyTo, req.Scanners, req)
+			case joinEnd:
+				n.routeJoinMsg(req.QueryID, req.ReplyTo, req.Scanners, req)
+			case nil:
+				// Fragment of a multi-packet message; the final fragment
+				// carries the payload.
+			default:
+				panic(fmt.Sprintf("exec: node %d: unexpected message %T", n.ID, req))
+			}
+		}
+	})
+}
+
+// runSelect executes one selection operator: index traversal and tuple
+// fetches against the local fragment, then ships the qualifying tuples to
+// the scheduler. The final result message doubles as the completion signal.
+func (n *Node) runSelect(p *sim.Proc, req startOp) {
+	frag := n.fragment(req.Relation)
+	var acc storage.Access
+	switch req.Access {
+	case AccessClustered:
+		acc = frag.SearchClustered(req.Pred.Lo, req.Pred.Hi)
+	case AccessNonClustered:
+		acc = frag.SearchNonClustered(req.Pred.Attr, req.Pred.Lo, req.Pred.Hi)
+	case AccessTIDFetch:
+		acc = frag.FetchTIDs(req.TIDs)
+	case AccessSeqScan:
+		acc = frag.Scan(req.Pred.Attr, req.Pred.Lo, req.Pred.Hi)
+	default:
+		panic(fmt.Sprintf("exec: unknown access kind %v", req.Access))
+	}
+	n.chargeAccess(p, acc)
+	n.OpsExecuted++
+	n.TuplesShipped += int64(len(acc.Tuples))
+
+	bytes := n.params.TupleBytes(len(acc.Tuples)) + controlBytes
+	n.net.Send(p, n.CPU, hw.Message{
+		From: n.ID, To: req.ReplyTo, Bytes: bytes,
+		Payload: opResult{QueryID: req.QueryID, Node: n.ID, Tuples: len(acc.Tuples)},
+	})
+}
+
+// runAuxLookup executes BERD's first step: search the local fragment of the
+// auxiliary relation and return the home processors of qualifying tuples.
+func (n *Node) runAuxLookup(p *sim.Proc, req auxLookup) {
+	aux := n.aux[req.Relation][req.Pred.Attr]
+	if aux == nil {
+		panic(fmt.Sprintf("exec: node %d has no aux relation for %q attr %d",
+			n.ID, req.Relation, req.Pred.Attr))
+	}
+	procs, tids, pages := aux.Lookup(req.Pred.Lo, req.Pred.Hi)
+	for _, pg := range pages {
+		n.Pool.Read(p, pg)
+		n.CPU.Execute(p, n.costs.IndexPageInstr)
+	}
+	byProc := make(map[int][]int64)
+	for i, proc := range procs {
+		byProc[proc] = append(byProc[proc], tids[i])
+	}
+	n.OpsExecuted++
+	bytes := len(procs)*auxEntryBytes + controlBytes
+	n.net.Send(p, n.CPU, hw.Message{
+		From: n.ID, To: req.ReplyTo, Bytes: bytes,
+		Payload: auxResult{QueryID: req.QueryID, Node: n.ID, TIDsByProc: byProc, Entries: len(procs)},
+	})
+}
+
+// chargeAccess replays an access-method page trace against the node's
+// buffer pool, disk and CPU: index pages cost IndexPageInstr each, data
+// pages cost the Table 2 per-page processing (14600 instructions).
+func (n *Node) chargeAccess(p *sim.Proc, acc storage.Access) {
+	for _, pg := range acc.IndexPages {
+		n.Pool.Read(p, pg)
+		n.CPU.Execute(p, n.costs.IndexPageInstr)
+	}
+	for _, pg := range acc.DataPages {
+		n.Pool.Read(p, pg)
+		n.CPU.Execute(p, n.params.ReadPageInstr)
+	}
+}

@@ -1,0 +1,387 @@
+// Package experiments defines one runnable experiment per figure of the
+// paper's evaluation (Section 7) plus the ablations DESIGN.md calls out,
+// and renders their results as tables. cmd/declusterbench and the root
+// bench_test.go both drive this package, so the benchmark harness and the
+// CLI regenerate identical series.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/gamma"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// Correlation selects the relationship between partitioning attribute
+// values (Section 4).
+type Correlation int
+
+// Correlation levels of the evaluation.
+const (
+	LowCorrelation  Correlation = iota // independent attribute values
+	HighCorrelation                    // tightly correlated (window = card/1000)
+)
+
+func (c Correlation) String() string {
+	if c == HighCorrelation {
+		return "high"
+	}
+	return "low"
+}
+
+// window converts the correlation level to a generator window for a
+// relation of the given cardinality.
+func (c Correlation) window(card int) int {
+	if c == HighCorrelation {
+		w := card / 1000
+		if w < 1 {
+			w = 1
+		}
+		return w
+	}
+	return 0
+}
+
+// Strategy names accepted by figures.
+const (
+	StrategyMAGIC      = "magic"
+	StrategyBERD       = "berd"
+	StrategyRange      = "range"
+	StrategyHash       = "hash"
+	StrategyRoundRobin = "roundrobin"
+)
+
+// Figure is one experiment: a workload mix, a correlation level, and the
+// strategies to compare across the MPL sweep.
+type Figure struct {
+	ID          string
+	Title       string
+	Mix         func(card int) workload.Mix
+	Correlation Correlation
+	Strategies  []string
+}
+
+// Figures returns every figure of the paper's evaluation section, in paper
+// order.
+func Figures() []Figure {
+	std := []string{StrategyMAGIC, StrategyBERD, StrategyRange}
+	return []Figure{
+		{ID: "8a", Title: "Low-Low Query Mix (low correlation)",
+			Mix: workload.LowLow, Correlation: LowCorrelation, Strategies: std},
+		{ID: "8b", Title: "Low-Low Query Mix (high correlation)",
+			Mix: workload.LowLow, Correlation: HighCorrelation, Strategies: std},
+		{ID: "9", Title: "Low-Low Query Mix with Higher Selectivity (low correlation)",
+			Mix: workload.LowLowWider, Correlation: LowCorrelation,
+			Strategies: []string{StrategyMAGIC, StrategyBERD}},
+		{ID: "10a", Title: "Low-Moderate Query Mix (low correlation)",
+			Mix: workload.LowModerate, Correlation: LowCorrelation, Strategies: std},
+		{ID: "10b", Title: "Low-Moderate Query Mix (high correlation)",
+			Mix: workload.LowModerate, Correlation: HighCorrelation, Strategies: std},
+		{ID: "11a", Title: "Moderate-Low Query Mix (low correlation)",
+			Mix: workload.ModerateLow, Correlation: LowCorrelation, Strategies: std},
+		{ID: "11b", Title: "Moderate-Low Query Mix (high correlation)",
+			Mix: workload.ModerateLow, Correlation: HighCorrelation, Strategies: std},
+		{ID: "12a", Title: "Moderate-Moderate Query Mix (low correlation)",
+			Mix: workload.ModerateModerate, Correlation: LowCorrelation, Strategies: std},
+		{ID: "12b", Title: "Moderate-Moderate Query Mix (high correlation)",
+			Mix: workload.ModerateModerate, Correlation: HighCorrelation, Strategies: std},
+	}
+}
+
+// FigureByID finds a figure (case-sensitive), or an error listing valid ids.
+func FigureByID(id string) (Figure, error) {
+	var ids []string
+	for _, f := range Figures() {
+		if f.ID == id {
+			return f, nil
+		}
+		ids = append(ids, f.ID)
+	}
+	return Figure{}, fmt.Errorf("experiments: unknown figure %q (have %v)", id, ids)
+}
+
+// Options scales an experiment. The zero value is completed by
+// (*Options).withDefaults: paper scale is Cardinality 100000, 32
+// processors, MPL 1..64.
+type Options struct {
+	Cardinality    int
+	Processors     int
+	MPLs           []int
+	WarmupQueries  int
+	MeasureQueries int
+	Seed           int64
+	Config         *gamma.Config // overrides gamma.DefaultConfig if set
+}
+
+// PaperScale returns the full-scale options used for EXPERIMENTS.md.
+func PaperScale() Options {
+	return Options{
+		Cardinality:    100000,
+		Processors:     32,
+		MPLs:           []int{1, 8, 16, 24, 32, 40, 48, 56, 64},
+		WarmupQueries:  300,
+		MeasureQueries: 1500,
+		Seed:           1,
+	}
+}
+
+// QuickScale returns reduced options for unit tests and testing.B runs.
+func QuickScale() Options {
+	return Options{
+		Cardinality:    20000,
+		Processors:     32,
+		MPLs:           []int{1, 8, 32, 64},
+		WarmupQueries:  60,
+		MeasureQueries: 300,
+		Seed:           1,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	d := PaperScale()
+	if o.Cardinality <= 0 {
+		o.Cardinality = d.Cardinality
+	}
+	if o.Processors <= 0 {
+		o.Processors = d.Processors
+	}
+	if len(o.MPLs) == 0 {
+		o.MPLs = d.MPLs
+	}
+	if o.WarmupQueries <= 0 {
+		o.WarmupQueries = d.WarmupQueries
+	}
+	if o.MeasureQueries <= 0 {
+		o.MeasureQueries = d.MeasureQueries
+	}
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	return o
+}
+
+// Point is one measured (strategy, MPL) combination.
+type Point struct {
+	Strategy string
+	MPL      int
+	Result   gamma.RunResult
+}
+
+// FigureResult holds a completed figure.
+type FigureResult struct {
+	Figure  Figure
+	Options Options
+	Points  []Point
+	// Notes records construction facts the paper reports alongside the
+	// curves (grid directory shape, average processors used, ...).
+	Notes []string
+}
+
+// BuildPlacement constructs the named strategy for a relation, planning
+// MAGIC from the mix's estimated resource requirements.
+func BuildPlacement(name string, rel *storage.Relation, mix workload.Mix, opts Options) (core.Placement, error) {
+	opts = opts.withDefaults()
+	cfg := gamma.DefaultConfig()
+	if opts.Config != nil {
+		cfg = *opts.Config
+	}
+	switch name {
+	case StrategyRange:
+		return core.NewRangeForRelation(rel, storage.Unique1, opts.Processors), nil
+	case StrategyHash:
+		return core.NewHash(storage.Unique1, opts.Processors), nil
+	case StrategyRoundRobin:
+		return core.NewRoundRobin(opts.Processors), nil
+	case StrategyBERD:
+		return core.NewBERDForRelation(rel, storage.Unique1, []int{storage.Unique2}, opts.Processors), nil
+	case StrategyMAGIC:
+		specs := workload.EstimateSpecs(mix, rel.Cardinality(), cfg.HW, cfg.Costs)
+		pp := workload.PlanParamsFor(rel.Cardinality(), opts.Processors, cfg.Costs)
+		return core.BuildMAGIC(rel, []int{storage.Unique1, storage.Unique2}, specs, pp, nil)
+	default:
+		return nil, fmt.Errorf("experiments: unknown strategy %q", name)
+	}
+}
+
+// ConfigFor returns the machine configuration an experiment with these
+// options uses when no explicit override is given: the Table 2 defaults,
+// with the buffer pool sized to the per-node index footprint (plus a small
+// margin) whatever the relation scale — index pages stay resident while
+// data pages pay I/O, which is the paper's cost regime. At paper scale this
+// reproduces the default 24 pages.
+func ConfigFor(opts Options) gamma.Config {
+	opts = opts.withDefaults()
+	cfg := gamma.DefaultConfig()
+	leafCap := cfg.Layout.IndexLeafCap
+	perNode := (opts.Cardinality + opts.Processors*leafCap - 1) / (opts.Processors * leafCap)
+	cfg.BufferPages = 2*perNode + 6
+	cfg.HW.NumProcessors = opts.Processors
+	cfg.Seed = opts.Seed
+	return cfg
+}
+
+// Run executes the figure across its strategies and the MPL sweep.
+func Run(fig Figure, opts Options) (FigureResult, error) {
+	opts = opts.withDefaults()
+	var cfg gamma.Config
+	if opts.Config != nil {
+		cfg = *opts.Config
+		cfg.HW.NumProcessors = opts.Processors
+		cfg.Seed = opts.Seed
+	} else {
+		cfg = ConfigFor(opts)
+	}
+
+	rel := storage.GenerateWisconsin(storage.GenSpec{
+		Cardinality:       opts.Cardinality,
+		CorrelationWindow: fig.Correlation.window(opts.Cardinality),
+		Seed:              opts.Seed,
+	})
+	mix := fig.Mix(opts.Cardinality)
+
+	out := FigureResult{Figure: fig, Options: opts}
+	for _, name := range fig.Strategies {
+		pl, err := BuildPlacement(name, rel, mix, opts)
+		if err != nil {
+			return out, fmt.Errorf("figure %s: %w", fig.ID, err)
+		}
+		if m, ok := pl.(*core.MAGICPlacement); ok {
+			dims := m.Dims()
+			plan := m.Plan()
+			out.Notes = append(out.Notes, fmt.Sprintf(
+				"magic: directory %v (%d entries, FC=%d, M=%.2f, Mi[A]=%.1f, Mi[B]=%.1f, %d rebalance swaps)",
+				dims, m.Grid().NumCells(), plan.FC, plan.M,
+				plan.Mi[storage.Unique1], plan.Mi[storage.Unique2], m.RebalanceSwaps()))
+		}
+		machine, err := gamma.Build(rel, pl, cfg)
+		if err != nil {
+			return out, fmt.Errorf("figure %s/%s: %w", fig.ID, name, err)
+		}
+		for _, mpl := range opts.MPLs {
+			res, err := machine.Run(mix, gamma.RunSpec{
+				MPL:            mpl,
+				WarmupQueries:  opts.WarmupQueries,
+				MeasureQueries: opts.MeasureQueries,
+				Seed:           opts.Seed,
+			})
+			if err != nil {
+				return out, fmt.Errorf("figure %s/%s MPL %d: %w", fig.ID, name, mpl, err)
+			}
+			out.Points = append(out.Points, Point{Strategy: name, MPL: mpl, Result: res})
+		}
+	}
+	return out, nil
+}
+
+// Throughput returns the measured throughput for a (strategy, MPL), or
+// (0, false).
+func (fr FigureResult) Throughput(strategy string, mpl int) (float64, bool) {
+	for _, p := range fr.Points {
+		if p.Strategy == strategy && p.MPL == mpl {
+			return p.Result.ThroughputQPS, true
+		}
+	}
+	return 0, false
+}
+
+// MeanProcs returns the mean processors-per-query a strategy used across
+// the sweep.
+func (fr FigureResult) MeanProcs(strategy string) float64 {
+	var acc stats.Accumulator
+	for _, p := range fr.Points {
+		if p.Strategy == strategy {
+			acc.Add(p.Result.MeanProcsUsed)
+		}
+	}
+	return acc.Mean()
+}
+
+// Table renders the figure as "MPL x strategy -> throughput", the series
+// the paper plots.
+func (fr FigureResult) Table() *stats.Table {
+	strategies := fr.strategies()
+	headers := append([]string{"MPL"}, strategies...)
+	tb := stats.NewTable(fmt.Sprintf("Figure %s: %s — throughput (queries/second)",
+		fr.Figure.ID, fr.Figure.Title), headers...)
+	for _, mpl := range fr.mpls() {
+		row := make([]any, 0, len(headers))
+		row = append(row, mpl)
+		for _, s := range strategies {
+			if tp, ok := fr.Throughput(s, mpl); ok {
+				row = append(row, fmt.Sprintf("%.2f", tp))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		tb.AddRow(row...)
+	}
+	return tb
+}
+
+// Chart renders the figure as an ASCII line chart — the curves the paper
+// plots.
+func (fr FigureResult) Chart() *stats.Chart {
+	c := stats.NewChart(fmt.Sprintf("Figure %s: %s", fr.Figure.ID, fr.Figure.Title),
+		"MPL", "queries/second")
+	for _, s := range fr.strategies() {
+		var xs, ys []float64
+		for _, mpl := range fr.mpls() {
+			if tp, ok := fr.Throughput(s, mpl); ok {
+				xs = append(xs, float64(mpl))
+				ys = append(ys, tp)
+			}
+		}
+		c.AddSeries(s, xs, ys)
+	}
+	return c
+}
+
+// DetailTable renders per-point diagnostics (processors used, response
+// time, utilizations).
+func (fr FigureResult) DetailTable() *stats.Table {
+	tb := stats.NewTable(fmt.Sprintf("Figure %s detail", fr.Figure.ID),
+		"strategy", "MPL", "q/s", "resp ms", "p95 ms", "procs/query",
+		"disk util", "cpu util", "buf hit", "reads/query")
+	for _, p := range fr.Points {
+		r := p.Result
+		tb.AddRow(p.Strategy, p.MPL,
+			fmt.Sprintf("%.2f", r.ThroughputQPS),
+			fmt.Sprintf("%.1f", r.MeanResponseMS),
+			fmt.Sprintf("%.1f", r.P95ResponseMS),
+			fmt.Sprintf("%.2f", r.MeanProcsUsed),
+			fmt.Sprintf("%.2f", r.DiskUtilization),
+			fmt.Sprintf("%.2f", r.CPUUtilization),
+			fmt.Sprintf("%.2f", r.BufferHitRate),
+			fmt.Sprintf("%.1f", r.DiskReadsPerQry))
+	}
+	return tb
+}
+
+func (fr FigureResult) strategies() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, p := range fr.Points {
+		if !seen[p.Strategy] {
+			seen[p.Strategy] = true
+			out = append(out, p.Strategy)
+		}
+	}
+	return out
+}
+
+func (fr FigureResult) mpls() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, p := range fr.Points {
+		if !seen[p.MPL] {
+			seen[p.MPL] = true
+			out = append(out, p.MPL)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,246 @@
+// Package gamma assembles the simulated Gamma database machine of Figure 7
+// — P operator nodes (CPU + elevator disk + buffer pool + relation
+// fragment) plus a scheduler/host node and terminals — and runs closed
+// multiprogramming-level experiments against it, measuring throughput the
+// way the paper's Section 7 figures report it.
+package gamma
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/hw"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Config fixes the machine's hardware and software constants.
+type Config struct {
+	HW    hw.Params
+	Costs exec.Costs
+	// BufferPages is the per-node buffer pool size in pages. The default
+	// (24) keeps index roots and interiors resident while data pages still
+	// pay I/O, matching the paper's disk-bound query costs; see DESIGN.md.
+	BufferPages int
+	// Layout of fragments and indexes.
+	Layout storage.Layout
+	// ClusteredAttr carries a clustered index on every node (the paper:
+	// unique2/B); NonClusteredAttrs carry non-clustered indexes (unique1/A).
+	ClusteredAttr     int
+	NonClusteredAttrs []int
+	// BERDFetchByTID switches BERD's second step to per-TID fetches
+	// instead of predicate re-execution (ablation; see exec.Host).
+	BERDFetchByTID bool
+	// Seed drives all machine-level randomness (disk latencies, workload).
+	Seed int64
+}
+
+// DefaultConfig returns the paper's configuration (Table 2, Section 6).
+func DefaultConfig() Config {
+	return Config{
+		HW:                hw.DefaultParams(),
+		Costs:             exec.DefaultCosts(),
+		BufferPages:       24,
+		Layout:            storage.DefaultLayout(),
+		ClusteredAttr:     storage.Unique2,
+		NonClusteredAttrs: []int{storage.Unique1},
+		Seed:              1,
+	}
+}
+
+// relationEntry is one declustered relation of the machine.
+type relationEntry struct {
+	rel        *storage.Relation
+	placement  core.Placement
+	fragTuples map[int][]storage.Tuple
+	auxByAttr  map[int]map[int][]storage.AuxEntry
+}
+
+// Machine is one assembled simulation instance: build it with Build (and
+// optionally AddRelation), then call Run (repeatedly, with increasing MPL
+// if desired — each Run uses a fresh engine). Relation and Placement refer
+// to the primary relation, which Run's workload targets.
+type Machine struct {
+	Cfg       Config
+	Relation  *storage.Relation
+	Placement core.Placement
+
+	Eng     *sim.Engine
+	Net     *hw.Network
+	Nodes   []*exec.Node
+	Host    *exec.Host
+	Catalog *catalog.Catalog
+
+	relations []*relationEntry
+}
+
+// distribute assigns every tuple its home processor and builds the BERD
+// auxiliary assignments when applicable.
+func distribute(rel *storage.Relation, placement core.Placement) (*relationEntry, error) {
+	p := placement.Processors()
+	e := &relationEntry{
+		rel:        rel,
+		placement:  placement,
+		fragTuples: make(map[int][]storage.Tuple, p),
+	}
+	for _, t := range rel.Tuples {
+		home := placement.HomeOf(t)
+		if home < 0 || home >= p {
+			return nil, fmt.Errorf("gamma: placement sent tuple %d to processor %d of %d",
+				t.TID, home, p)
+		}
+		e.fragTuples[home] = append(e.fragTuples[home], t)
+	}
+	if berd, ok := placement.(*core.BERDPlacement); ok {
+		e.auxByAttr = berd.AuxAssignments(rel)
+	}
+	return e, nil
+}
+
+// Build declusters the relation according to the placement and constructs
+// the machine. The expensive parts (tuple distribution, BERD auxiliary
+// construction) happen once; the simulation engine itself is rebuilt per
+// Run so successive runs are independent.
+func Build(rel *storage.Relation, placement core.Placement, cfg Config) (*Machine, error) {
+	if err := cfg.HW.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.BufferPages < 0 {
+		return nil, fmt.Errorf("gamma: negative buffer size %d", cfg.BufferPages)
+	}
+	entry, err := distribute(rel, placement)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		Cfg:       cfg,
+		Relation:  rel,
+		Placement: placement,
+		relations: []*relationEntry{entry},
+	}
+	m.reset()
+	return m, nil
+}
+
+// AddRelation declusters a further relation onto the same machine (its
+// placement must span the same processors) and rebuilds the simulation
+// state. Relation names must be unique.
+func (m *Machine) AddRelation(rel *storage.Relation, placement core.Placement) error {
+	if placement.Processors() != m.Placement.Processors() {
+		return fmt.Errorf("gamma: relation %s declustered over %d processors, machine has %d",
+			rel.Name, placement.Processors(), m.Placement.Processors())
+	}
+	for _, e := range m.relations {
+		if e.rel.Name == rel.Name {
+			return fmt.Errorf("gamma: relation %s already on the machine", rel.Name)
+		}
+	}
+	entry, err := distribute(rel, placement)
+	if err != nil {
+		return err
+	}
+	m.relations = append(m.relations, entry)
+	m.reset()
+	return nil
+}
+
+// Reset rebuilds the simulation engine, hardware, and storage so direct
+// users of Machine.Eng/Host (single-query probes, joins) can start from a
+// cold, deterministic state; Run and RunOpen call it implicitly.
+func (m *Machine) Reset() { m.reset() }
+
+// reset rebuilds the simulation engine, hardware, and storage so a Run
+// starts from a cold, deterministic state. Server processes of the previous
+// engine (operator managers, NIC receivers) stay parked on the abandoned
+// engine and are reclaimed with it; only their goroutine stacks linger
+// until process exit, which is negligible at experiment scale.
+func (m *Machine) reset() {
+	cfg := m.Cfg
+	p := m.Placement.Processors()
+	eng := sim.New()
+	streams := rng.NewFactory(cfg.Seed)
+
+	// Operator nodes carry CPUs; the host endpoint (index p) is an
+	// uncharged coordination module per Figure 7 (nil CPU).
+	cpus := make([]*hw.CPU, p+1)
+	for i := 0; i < p; i++ {
+		cpus[i] = hw.NewCPU(eng, fmt.Sprintf("cpu%d", i), cfg.HW)
+	}
+	net := hw.NewNetwork(eng, cfg.HW, cpus)
+
+	cat := catalog.New()
+	nodes := make([]*exec.Node, p)
+	allocs := make([]*storage.Allocator, p)
+	for i := 0; i < p; i++ {
+		disk := hw.NewDisk(eng, fmt.Sprintf("disk%d", i), cfg.HW, cpus[i],
+			streams.Stream(fmt.Sprintf("disk%d", i)))
+		pool := buffer.NewPool(eng, fmt.Sprintf("buf%d", i), cfg.BufferPages, disk)
+		nodes[i] = exec.NewNode(eng, i, cfg.HW, cfg.Costs, net, cpus[i], disk, pool)
+		allocs[i] = storage.NewAllocator(cfg.HW.PagesPerDisk())
+	}
+
+	// Lay out every relation on every node and register each in the System
+	// Catalog (Figure 7): per-disk tuple/page counts and index metadata.
+	for _, entry := range m.relations {
+		info := &catalog.RelationInfo{
+			Name:        entry.rel.Name,
+			Cardinality: entry.rel.Cardinality(),
+			Placement:   entry.placement,
+			Nodes:       make(map[int]catalog.NodeStats, p),
+		}
+		for i, n := range nodes {
+			alloc := allocs[i]
+			frag := storage.BuildFragment(i, entry.fragTuples[i], cfg.ClusteredAttr, cfg.Layout, alloc)
+			frag.AddIndex(cfg.ClusteredAttr, alloc)
+			for _, a := range cfg.NonClusteredAttrs {
+				frag.AddIndex(a, alloc)
+			}
+			n.AddFragment(entry.rel.Name, frag)
+			ns := catalog.NodeStats{
+				Tuples:    frag.NumTuples(),
+				DataPages: frag.NumDataPages(),
+			}
+			for _, attr := range append([]int{cfg.ClusteredAttr}, cfg.NonClusteredAttrs...) {
+				if ix := frag.Index(attr); ix != nil {
+					ns.Indexes = append(ns.Indexes, catalog.IndexInfo{
+						Attr:      attr,
+						Name:      storage.AttrName(attr),
+						Clustered: ix.Clustered,
+						Pages:     ix.Tree.Pages(),
+						Height:    ix.Tree.Height(),
+					})
+				}
+			}
+			for attr, perProc := range entry.auxByAttr {
+				aux := storage.BuildAux(i, perProc[i], cfg.Layout, alloc)
+				n.AddAux(entry.rel.Name, attr, aux)
+				ns.AuxEntries += aux.Entries
+				ns.AuxPages += aux.Tree.Pages()
+			}
+			info.Nodes[i] = ns
+		}
+		if err := cat.Register(info); err != nil {
+			panic(err) // unreachable: names deduplicated in AddRelation
+		}
+	}
+	for _, n := range nodes {
+		n.Start()
+	}
+
+	host := exec.NewHost(eng, p, cfg.HW, net, cfg.Costs)
+	for _, entry := range m.relations {
+		host.AddRelation(entry.rel.Name, entry.placement)
+	}
+	host.BERDFetchByTID = cfg.BERDFetchByTID
+	host.Start()
+
+	m.Eng = eng
+	m.Net = net
+	m.Nodes = nodes
+	m.Host = host
+	m.Catalog = cat
+}

@@ -1,0 +1,140 @@
+package gamma
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// OpenRunSpec controls an open-system measurement: queries arrive in a
+// Poisson stream at ArrivalRateQPS instead of being driven by a fixed
+// number of terminals. This extends the paper's closed multiprogramming
+// model: response time versus offered load exposes each strategy's
+// saturation point directly.
+type OpenRunSpec struct {
+	ArrivalRateQPS float64
+	WarmupQueries  int
+	MeasureQueries int
+	Seed           int64
+	// MaxOutstanding aborts the run if this many queries are ever in
+	// flight at once — the offered load exceeds capacity (default 4096).
+	MaxOutstanding int
+	// MaxSimTime bounds the run (default 30 simulated minutes).
+	MaxSimTime sim.Duration
+}
+
+// RunOpen executes an open-system experiment on a fresh machine state.
+func (m *Machine) RunOpen(mix workload.Mix, spec OpenRunSpec) (RunResult, error) {
+	if spec.ArrivalRateQPS <= 0 {
+		return RunResult{}, fmt.Errorf("gamma: arrival rate must be positive, got %g", spec.ArrivalRateQPS)
+	}
+	if spec.WarmupQueries < 0 || spec.MeasureQueries <= 0 {
+		return RunResult{}, fmt.Errorf("gamma: bad warmup/measure spec %d/%d",
+			spec.WarmupQueries, spec.MeasureQueries)
+	}
+	if spec.MaxOutstanding <= 0 {
+		spec.MaxOutstanding = 4096
+	}
+	if spec.MaxSimTime <= 0 {
+		spec.MaxSimTime = 30 * 60 * sim.Second
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = m.Cfg.Seed
+	}
+	m.reset()
+	eng := m.Eng
+	access := mix.AccessChooser()
+	card := m.Relation.Cardinality()
+	streams := rng.NewFactory(seed)
+	arrivals := streams.Stream("arrivals")
+	sampler := streams.Stream("queries")
+
+	var (
+		completed   int
+		outstanding int
+		overloaded  bool
+		measuring   = spec.WarmupQueries == 0
+		measureFrom sim.Time
+		resp        stats.BatchMeans
+		procs       stats.Accumulator
+		tuples      stats.Accumulator
+	)
+	target := spec.WarmupQueries + spec.MeasureQueries
+	meanGapMS := 1000.0 / spec.ArrivalRateQPS
+
+	eng.Spawn("arrivals", func(p *sim.Proc) {
+		for q := 0; ; q++ {
+			p.Hold(sim.Milliseconds(arrivals.Exponential(meanGapMS)))
+			if eng.Stopped() || overloaded {
+				return
+			}
+			outstanding++
+			if outstanding > spec.MaxOutstanding {
+				overloaded = true
+				eng.Stop()
+				return
+			}
+			pred, _ := mix.Sample(sampler, card)
+			eng.Spawn(fmt.Sprintf("query%d", q), func(qp *sim.Proc) {
+				res := m.Host.Execute(qp, pred, access)
+				outstanding--
+				completed++
+				if measuring {
+					resp.Add(res.ResponseMS())
+					procs.Add(float64(res.ProcessorsUsed))
+					tuples.Add(float64(res.Tuples))
+				}
+				if completed == spec.WarmupQueries && !measuring {
+					measuring = true
+					measureFrom = qp.Now()
+					m.resetStats()
+				}
+				if completed >= target {
+					eng.Stop()
+				}
+			})
+		}
+	})
+
+	if err := eng.RunUntil(sim.Time(spec.MaxSimTime)); err != nil {
+		return RunResult{}, err
+	}
+	if overloaded {
+		return RunResult{}, fmt.Errorf("gamma: offered load %g q/s exceeds capacity "+
+			"(%d queries outstanding)", spec.ArrivalRateQPS, spec.MaxOutstanding)
+	}
+	if completed < target {
+		return RunResult{}, fmt.Errorf("gamma: open run hit MaxSimTime with %d/%d queries done",
+			completed, target)
+	}
+
+	elapsed := sim.Duration(eng.Now() - measureFrom)
+	if elapsed <= 0 {
+		return RunResult{}, fmt.Errorf("gamma: empty measurement window")
+	}
+	measured := resp.N()
+	out := RunResult{
+		Strategy:      m.Placement.Name(),
+		Mix:           mix.Name,
+		Completed:     measured,
+		ElapsedSim:    elapsed,
+		ThroughputQPS: float64(measured) / elapsed.Seconds(),
+		MeanProcsUsed: procs.Mean(),
+		MeanTuples:    tuples.Mean(),
+	}
+	mean, _ := resp.Interval(10)
+	out.MeanResponseMS = mean
+	out.P95ResponseMS = resp.Percentile(95)
+	var cpu, disk float64
+	for _, n := range m.Nodes {
+		cpu += n.CPU.Utilization()
+		disk += n.Disk.Utilization()
+	}
+	out.CPUUtilization = cpu / float64(len(m.Nodes))
+	out.DiskUtilization = disk / float64(len(m.Nodes))
+	return out, nil
+}

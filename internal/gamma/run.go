@@ -1,0 +1,213 @@
+package gamma
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// RunSpec controls one closed-workload measurement.
+type RunSpec struct {
+	// MPL is the multiprogramming level: the number of terminals, each
+	// submitting its next query the moment the previous one completes
+	// (zero think time), as in the paper's figures.
+	MPL int
+	// WarmupQueries completions are discarded before measurement starts.
+	WarmupQueries int
+	// MeasureQueries completions constitute the measurement window.
+	MeasureQueries int
+	// Seed varies the workload sampling; defaults to the machine seed.
+	Seed int64
+	// MaxSimTime aborts a run that fails to complete (guard against
+	// misconfiguration); defaults to 30 simulated minutes.
+	MaxSimTime sim.Duration
+}
+
+// ClassStats summarizes one query class within a measurement window.
+type ClassStats struct {
+	Completed      int
+	MeanResponseMS float64
+	P95ResponseMS  float64
+	MeanProcsUsed  float64
+}
+
+// RunResult summarizes a measurement window.
+type RunResult struct {
+	Strategy        string
+	Mix             string
+	MPL             int
+	Completed       int
+	ElapsedSim      sim.Duration
+	ThroughputQPS   float64
+	MeanResponseMS  float64
+	P95ResponseMS   float64
+	MeanProcsUsed   float64
+	MeanTuples      float64
+	CPUUtilization  float64 // mean over operator nodes
+	DiskUtilization float64
+	BufferHitRate   float64
+	DiskReadsPerQry float64
+	// PerClass breaks response time and processor usage down by query
+	// class (the paper discusses QA and QB behaviour separately).
+	PerClass map[string]ClassStats
+}
+
+// String renders the headline numbers.
+func (r RunResult) String() string {
+	return fmt.Sprintf("%s/%s MPL=%d: %.2f q/s, resp %.1fms, %.2f procs/query",
+		r.Strategy, r.Mix, r.MPL, r.ThroughputQPS, r.MeanResponseMS, r.MeanProcsUsed)
+}
+
+// Run executes one closed-workload experiment on a fresh machine state and
+// returns the measured steady-state statistics. The machine is reset first,
+// so runs are independent and deterministic for a (machine seed, run seed)
+// pair.
+func (m *Machine) Run(mix workload.Mix, spec RunSpec) (RunResult, error) {
+	if spec.MPL <= 0 {
+		return RunResult{}, fmt.Errorf("gamma: MPL must be positive, got %d", spec.MPL)
+	}
+	if spec.WarmupQueries < 0 || spec.MeasureQueries <= 0 {
+		return RunResult{}, fmt.Errorf("gamma: bad warmup/measure spec %d/%d",
+			spec.WarmupQueries, spec.MeasureQueries)
+	}
+	if spec.MaxSimTime <= 0 {
+		spec.MaxSimTime = 30 * 60 * sim.Second
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = m.Cfg.Seed
+	}
+	m.reset()
+	eng := m.Eng
+	access := mix.AccessChooser()
+	card := m.Relation.Cardinality()
+	streams := rng.NewFactory(seed)
+
+	type classAcc struct {
+		resp  stats.BatchMeans
+		procs stats.Accumulator
+	}
+	var (
+		completed   int
+		measuring   bool
+		measureFrom sim.Time
+		measured    int
+		resp        stats.BatchMeans
+		procs       stats.Accumulator
+		tuples      stats.Accumulator
+		diskReads0  int64
+		perClass    = map[string]*classAcc{}
+	)
+	target := spec.WarmupQueries + spec.MeasureQueries
+
+	for term := 0; term < spec.MPL; term++ {
+		src := streams.Stream(fmt.Sprintf("terminal%d", term))
+		eng.Spawn(fmt.Sprintf("terminal%d", term), func(p *sim.Proc) {
+			for {
+				pred, cls := mix.Sample(src, card)
+				res := m.Host.Execute(p, pred, access)
+				completed++
+				if measuring {
+					resp.Add(res.ResponseMS())
+					procs.Add(float64(res.ProcessorsUsed))
+					tuples.Add(float64(res.Tuples))
+					ca := perClass[cls.Name]
+					if ca == nil {
+						ca = &classAcc{}
+						perClass[cls.Name] = ca
+					}
+					ca.resp.Add(res.ResponseMS())
+					ca.procs.Add(float64(res.ProcessorsUsed))
+					measured++
+				}
+				if completed == spec.WarmupQueries && !measuring {
+					measuring = true
+					measureFrom = p.Now()
+					m.resetStats()
+					diskReads0 = m.totalDiskReads()
+				}
+				if completed >= target {
+					eng.Stop()
+					return
+				}
+			}
+		})
+	}
+	// Degenerate warmup: measurement starts immediately.
+	if spec.WarmupQueries == 0 {
+		measuring = true
+	}
+
+	if err := eng.RunUntil(sim.Time(spec.MaxSimTime)); err != nil {
+		return RunResult{}, err
+	}
+	if completed < target {
+		return RunResult{}, fmt.Errorf("gamma: run hit MaxSimTime with %d/%d queries done",
+			completed, target)
+	}
+
+	elapsed := sim.Duration(eng.Now() - measureFrom)
+	if elapsed <= 0 {
+		return RunResult{}, fmt.Errorf("gamma: empty measurement window")
+	}
+	out := RunResult{
+		Strategy:        m.Placement.Name(),
+		Mix:             mix.Name,
+		MPL:             spec.MPL,
+		Completed:       measured,
+		ElapsedSim:      elapsed,
+		ThroughputQPS:   float64(measured) / elapsed.Seconds(),
+		MeanProcsUsed:   procs.Mean(),
+		MeanTuples:      tuples.Mean(),
+		DiskReadsPerQry: float64(m.totalDiskReads()-diskReads0) / float64(measured),
+	}
+	mean, _ := resp.Interval(10)
+	out.MeanResponseMS = mean
+	out.P95ResponseMS = resp.Percentile(95)
+
+	var cpu, disk, hits, total float64
+	for _, n := range m.Nodes {
+		cpu += n.CPU.Utilization()
+		disk += n.Disk.Utilization()
+		hits += float64(n.Pool.Hits())
+		total += float64(n.Pool.Hits() + n.Pool.Misses())
+	}
+	out.CPUUtilization = cpu / float64(len(m.Nodes))
+	out.DiskUtilization = disk / float64(len(m.Nodes))
+	if total > 0 {
+		out.BufferHitRate = hits / total
+	}
+	out.PerClass = make(map[string]ClassStats, len(perClass))
+	for name, ca := range perClass {
+		clsMean, _ := ca.resp.Interval(10)
+		out.PerClass[name] = ClassStats{
+			Completed:      ca.resp.N(),
+			MeanResponseMS: clsMean,
+			P95ResponseMS:  ca.resp.Percentile(95),
+			MeanProcsUsed:  ca.procs.Mean(),
+		}
+	}
+	return out, nil
+}
+
+// resetStats clears utilization and counter state at the start of the
+// measurement window.
+func (m *Machine) resetStats() {
+	for _, n := range m.Nodes {
+		n.CPU.ResetStats()
+		n.Disk.ResetStats()
+		n.Pool.ResetStats()
+	}
+	m.Net.ResetStats()
+}
+
+func (m *Machine) totalDiskReads() int64 {
+	var t int64
+	for _, n := range m.Nodes {
+		t += n.Disk.Reads()
+	}
+	return t
+}

@@ -1,0 +1,323 @@
+package gridfile
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func uniformGrid(t *testing.T, n, capacity int, weights []float64) *Grid {
+	t.Helper()
+	g := New(capacity, weights, [][2]int64{{0, int64(n - 1)}, {0, int64(n - 1)}})
+	src := rng.NewSource("g", 11)
+	perm := src.Perm(n)
+	for i := 0; i < n; i++ {
+		g.Insert([]int64{int64(perm[i]), int64(i)}, i)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("invalid grid: %v", err)
+	}
+	return g
+}
+
+func TestInsertAndLocate(t *testing.T) {
+	g := New(2, []float64{1, 1}, [][2]int64{{0, 99}, {0, 99}})
+	pts := [][]int64{{10, 10}, {20, 20}, {30, 30}, {80, 80}, {90, 5}}
+	for i, p := range pts {
+		g.Insert(p, i)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Inserted() != 5 {
+		t.Fatalf("inserted = %d", g.Inserted())
+	}
+	if g.NumCells() < 2 {
+		t.Fatal("grid never split despite overflow")
+	}
+	// Every point must be found in its located cell.
+	for i, p := range pts {
+		flat := g.flatIndex(g.Locate(p))
+		found := false
+		for _, id := range g.Cell(flat) {
+			if id == i {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("point %d not in its cell", i)
+		}
+	}
+}
+
+func TestCapacityRespectedForUniqueValues(t *testing.T) {
+	g := uniformGrid(t, 2000, 25, []float64{1, 1})
+	for flat := 0; flat < g.NumCells(); flat++ {
+		if c := g.CellCount(flat); c > 25 {
+			t.Fatalf("cell %d holds %d tuples, capacity 25", flat, c)
+		}
+	}
+	if g.OverflowCells() != 0 {
+		t.Fatalf("unexpected overflow cells: %d", g.OverflowCells())
+	}
+}
+
+func TestEqualWeightsGiveSquarishDirectory(t *testing.T) {
+	g := uniformGrid(t, 5000, 25, []float64{1, 1})
+	dims := g.Dims()
+	ratio := float64(dims[0]) / float64(dims[1])
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("dims %v not squarish for equal weights", dims)
+	}
+}
+
+// The paper splits attribute B nine times more often than A for the
+// low-moderate mix, yielding a 23x193-shaped directory: verify the split
+// ratio roughly tracks the weights.
+func TestWeightedSplitRatio(t *testing.T) {
+	g := uniformGrid(t, 5000, 25, []float64{1, 9})
+	dims := g.Dims()
+	ratio := float64(dims[1]) / float64(dims[0])
+	if ratio < 4 || ratio > 16 {
+		t.Fatalf("dims %v: dim1/dim0 = %g, want ~9", dims, ratio)
+	}
+}
+
+func TestZeroWeightDimensionNeverSplits(t *testing.T) {
+	g := uniformGrid(t, 1000, 25, []float64{0, 1})
+	if dims := g.Dims(); dims[0] != 1 {
+		t.Fatalf("frozen dimension split: dims = %v", dims)
+	}
+}
+
+func TestCorrelatedDataProducesEmptyCells(t *testing.T) {
+	// Identical attributes: all points on the diagonal. Off-diagonal cells
+	// must be empty, and splits must still succeed (values are unique).
+	n := 2000
+	g := New(25, []float64{1, 1}, [][2]int64{{0, int64(n - 1)}, {0, int64(n - 1)}})
+	for i := 0; i < n; i++ {
+		g.Insert([]int64{int64(i), int64(i)}, i)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	empty := 0
+	for flat := 0; flat < g.NumCells(); flat++ {
+		if g.CellCount(flat) == 0 {
+			empty++
+		}
+	}
+	if empty == 0 {
+		t.Fatal("diagonal data should leave empty cells")
+	}
+	for flat := 0; flat < g.NumCells(); flat++ {
+		if c := g.CellCount(flat); c > 25 {
+			t.Fatalf("cell %d overflows: %d", flat, c)
+		}
+	}
+}
+
+func TestDuplicateValuesOverflowGracefully(t *testing.T) {
+	// All points identical: no dimension can ever split.
+	g := New(2, []float64{1, 1}, [][2]int64{{0, 10}, {0, 10}})
+	for i := 0; i < 10; i++ {
+		g.Insert([]int64{5, 5}, i)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.OverflowCells() == 0 {
+		t.Fatal("expected overflow to be recorded")
+	}
+	if g.NumCells() != 1 && g.CellCount(g.flatIndex(g.Locate([]int64{5, 5}))) != 10 {
+		t.Fatal("all duplicates must stay in one cell")
+	}
+}
+
+func TestIntervalRange(t *testing.T) {
+	g := uniformGrid(t, 1000, 25, []float64{1, 1})
+	from, to := g.IntervalRange(0, 0, 999)
+	if from != 0 || to != g.Dims()[0]-1 {
+		t.Fatalf("full range = [%d,%d], dims %v", from, to, g.Dims())
+	}
+	f2, t2 := g.IntervalRange(0, 500, 500)
+	if f2 != t2 {
+		t.Fatalf("point range spans [%d,%d]", f2, t2)
+	}
+}
+
+func TestCellsCoveringRowAndColumn(t *testing.T) {
+	g := uniformGrid(t, 2000, 25, []float64{1, 1})
+	dims := g.Dims()
+	// A point predicate on dim 0 with full range on dim 1 covers one column.
+	col := g.CellsCovering([][2]int64{{500, 500}, {0, 1999}})
+	if len(col) != dims[1] {
+		t.Fatalf("column covers %d cells, want %d", len(col), dims[1])
+	}
+	row := g.CellsCovering([][2]int64{{0, 1999}, {500, 500}})
+	if len(row) != dims[0] {
+		t.Fatalf("row covers %d cells, want %d", len(row), dims[0])
+	}
+	all := g.CellsCovering([][2]int64{{0, 1999}, {0, 1999}})
+	if len(all) != g.NumCells() {
+		t.Fatalf("full cover = %d cells, want %d", len(all), g.NumCells())
+	}
+}
+
+func TestCellsCoveringEmptyRange(t *testing.T) {
+	g := uniformGrid(t, 100, 25, []float64{1, 1})
+	if cells := g.CellsCovering([][2]int64{{5, 4}, {0, 99}}); cells != nil {
+		t.Fatalf("inverted range covered %d cells", len(cells))
+	}
+}
+
+// Property: every inserted point is discoverable through CellsCovering with
+// a point predicate on both dimensions.
+func TestPointQueriesFindTheirTuple(t *testing.T) {
+	g := uniformGrid(t, 3000, 20, []float64{1, 3})
+	src := rng.NewSource("q", 5)
+	for trial := 0; trial < 200; trial++ {
+		id := src.Intn(3000)
+		pt := []int64{g.points[id][0], g.points[id][1]}
+		cells := g.CellsCovering([][2]int64{{pt[0], pt[0]}, {pt[1], pt[1]}})
+		if len(cells) != 1 {
+			t.Fatalf("point query covered %d cells", len(cells))
+		}
+		found := false
+		for _, got := range g.Cell(cells[0]) {
+			if got == id {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("tuple %d not found via point query", id)
+		}
+	}
+}
+
+// Property: range queries over the grid return a superset of the matching
+// tuples and no cell outside the cover contains a match.
+func TestRangeCoverCompleteProperty(t *testing.T) {
+	g := uniformGrid(t, 2000, 25, []float64{1, 1})
+	check := func(loRaw, width uint16) bool {
+		lo := int64(loRaw) % 2000
+		hi := lo + int64(width%200)
+		if hi > 1999 {
+			hi = 1999
+		}
+		cover := map[int]bool{}
+		for _, c := range g.CellsCovering([][2]int64{{lo, hi}, {0, 1999}}) {
+			cover[c] = true
+		}
+		// Every tuple with dim0 value in [lo,hi] must be in a covered cell.
+		for id, pt := range g.points {
+			if pt[0] >= lo && pt[0] <= hi {
+				if !cover[g.flatIndex(g.Locate(g.points[id]))] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitCountsMatchDims(t *testing.T) {
+	g := uniformGrid(t, 2000, 25, []float64{1, 1})
+	dims := g.Dims()
+	if g.splits[0] != dims[0]-1 || g.splits[1] != dims[1]-1 {
+		t.Fatalf("splits %v vs dims %v", g.splits, dims)
+	}
+	if g.total != g.splits[0]+g.splits[1] {
+		t.Fatal("total splits inconsistent")
+	}
+}
+
+func TestFragmentSizesRoughlyUniform(t *testing.T) {
+	g := uniformGrid(t, 10000, 25, []float64{1, 1})
+	var sum, n float64
+	for flat := 0; flat < g.NumCells(); flat++ {
+		sum += float64(g.CellCount(flat))
+		n++
+	}
+	mean := sum / n
+	if math.Abs(mean-float64(10000)/n) > 1e-9 {
+		t.Fatal("mean inconsistent")
+	}
+	// With uniform data the average cell should hold a reasonable fraction
+	// of capacity (not pathologically empty).
+	if mean < 5 {
+		t.Fatalf("mean occupancy %g too low for capacity 25", mean)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	cases := []func(){
+		func() { New(0, []float64{1}, [][2]int64{{0, 1}}) },
+		func() { New(2, nil, nil) },
+		func() { New(2, []float64{1, 1}, [][2]int64{{0, 1}}) },
+		func() { New(2, []float64{-1, 1}, [][2]int64{{0, 1}, {0, 1}}) },
+		func() { New(2, []float64{0, 0}, [][2]int64{{0, 1}, {0, 1}}) },
+		func() { New(2, []float64{1, 1}, [][2]int64{{5, 1}, {0, 1}}) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: constructor accepted bad arguments", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	g := New(2, []float64{1, 1}, [][2]int64{{0, 9}, {0, 9}})
+	for i, fn := range []func(){
+		func() { g.Insert([]int64{1}, 0) },      // wrong dims
+		func() { g.Insert([]int64{1, 1}, 5) },   // non-dense id
+		func() { g.Insert([]int64{100, 1}, 0) }, // out of bounds
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: Insert accepted bad arguments", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCoordRoundTrip(t *testing.T) {
+	g := uniformGrid(t, 2000, 25, []float64{1, 2})
+	for flat := 0; flat < g.NumCells(); flat++ {
+		if got := g.flatIndex(g.Coord(flat)); got != flat {
+			t.Fatalf("coord round trip %d -> %d", flat, got)
+		}
+	}
+}
+
+func TestThreeDimensionalGrid(t *testing.T) {
+	g := New(10, []float64{1, 1, 1}, [][2]int64{{0, 999}, {0, 999}, {0, 999}})
+	src := rng.NewSource("3d", 13)
+	for i := 0; i < 1000; i++ {
+		g.Insert([]int64{int64(src.Intn(1000)), int64(src.Intn(1000)), int64(src.Intn(1000))}, i)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.K() != 3 {
+		t.Fatalf("K = %d", g.K())
+	}
+	cells := g.CellsCovering([][2]int64{{0, 999}, {500, 500}, {0, 999}})
+	dims := g.Dims()
+	if len(cells) != dims[0]*dims[2] {
+		t.Fatalf("3D slab covers %d cells, want %d", len(cells), dims[0]*dims[2])
+	}
+}

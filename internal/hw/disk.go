@@ -1,0 +1,208 @@
+package hw
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Disk models one node's disk with an elevator (SCAN) scheduler [TP72], the
+// policy the paper's Disk Manager uses. Physical pages are laid out on a
+// cylinder geometry so that sequential and random accesses cost what they
+// should: a request to the page immediately following the previous transfer
+// pays transfer time only; any other request pays seek (settle +
+// seekFactor*sqrt(distance)), rotational latency (uniform), and transfer.
+//
+// After the disk arm finishes a read, the page sits in the I/O channel's
+// FIFO buffer; moving it to memory costs XferPageInstr CPU instructions at
+// transfer priority, charged to the requesting process by Read. Writes pay
+// the memory->FIFO transfer before the arm starts.
+type Disk struct {
+	eng    *sim.Engine
+	name   string
+	params Params
+	cpu    *CPU
+	lat    *rng.Source
+
+	queue   []diskReq
+	nextSeq uint64
+	busy    bool
+
+	headCyl  int
+	dirUp    bool
+	lastPage int // last physical page transferred, -1 initially
+
+	reads, writes, seqHits int64
+	svc                    stats.Accumulator // per-request mechanism time, ms
+	util                   stats.TimeWeighted
+}
+
+type diskReq struct {
+	p        *sim.Proc
+	physPage int
+	write    bool
+	seq      uint64
+}
+
+// NewDisk creates the disk for a node. cpu receives the FIFO transfer
+// charges; lat supplies rotational latencies.
+func NewDisk(e *sim.Engine, name string, params Params, cpu *CPU, lat *rng.Source) *Disk {
+	d := &Disk{
+		eng: e, name: name, params: params, cpu: cpu, lat: lat,
+		dirUp: true, lastPage: -1,
+	}
+	d.util.Set(float64(e.Now()), 0)
+	return d
+}
+
+// Read fetches the physical page into memory, blocking the caller for queue,
+// mechanism, and FIFO-transfer time.
+func (d *Disk) Read(p *sim.Proc, physPage int) {
+	d.access(p, physPage, false)
+	// Page is in the channel FIFO; move it to memory on the CPU.
+	d.cpu.ExecuteTransfer(p, d.params.XferPageInstr)
+}
+
+// Write stores the physical page from memory, blocking the caller until the
+// arm completes (synchronous, durable write).
+func (d *Disk) Write(p *sim.Proc, physPage int) {
+	// Move memory -> channel FIFO first, then run the arm.
+	d.cpu.ExecuteTransfer(p, d.params.XferPageInstr)
+	d.access(p, physPage, true)
+}
+
+func (d *Disk) access(p *sim.Proc, physPage int, write bool) {
+	if physPage < 0 || physPage >= d.params.PagesPerDisk() {
+		panic(fmt.Sprintf("hw: %s: physical page %d out of range [0,%d)",
+			d.name, physPage, d.params.PagesPerDisk()))
+	}
+	d.nextSeq++
+	d.queue = append(d.queue, diskReq{p: p, physPage: physPage, write: write, seq: d.nextSeq})
+	if !d.busy {
+		d.busy = true
+		d.util.Set(float64(d.eng.Now()), 1)
+		d.startNext()
+	}
+	p.Park() // woken when our transfer completes
+}
+
+// startNext picks the next request per the elevator policy and runs it.
+// Must only be called while busy with a non-empty queue.
+func (d *Disk) startNext() {
+	idx := d.pickElevator()
+	req := d.queue[idx]
+	d.queue = append(d.queue[:idx], d.queue[idx+1:]...)
+
+	t := d.serviceTime(req.physPage)
+	d.svc.Add(t.Milliseconds())
+	d.eng.Tracef(d.name, "%s page %d (cyl %d) in %v",
+		verb(req.write), req.physPage, d.params.Cylinder(req.physPage), t)
+	d.headCyl = d.params.Cylinder(req.physPage)
+	d.lastPage = req.physPage
+	if req.write {
+		d.writes++
+	} else {
+		d.reads++
+	}
+	d.eng.Schedule(t, func() {
+		d.eng.Wake(req.p)
+		if len(d.queue) > 0 {
+			d.startNext()
+		} else {
+			d.busy = false
+			d.util.Set(float64(d.eng.Now()), 0)
+		}
+	})
+}
+
+func verb(write bool) string {
+	if write {
+		return "write"
+	}
+	return "read"
+}
+
+// pickElevator returns the index of the queued request the SCAN policy
+// serves next: the nearest request at or beyond the head in the sweep
+// direction; if none, the sweep reverses. Ties on cylinder break FIFO.
+func (d *Disk) pickElevator() int {
+	best := -1
+	pick := func(up bool) int {
+		chosen, chosenCyl := -1, 0
+		for i, r := range d.queue {
+			c := d.params.Cylinder(r.physPage)
+			if up && c < d.headCyl || !up && c > d.headCyl {
+				continue
+			}
+			better := chosen == -1
+			if !better {
+				if up {
+					better = c < chosenCyl || (c == chosenCyl && r.seq < d.queue[chosen].seq)
+				} else {
+					better = c > chosenCyl || (c == chosenCyl && r.seq < d.queue[chosen].seq)
+				}
+			}
+			if better {
+				chosen, chosenCyl = i, c
+			}
+		}
+		return chosen
+	}
+	best = pick(d.dirUp)
+	if best == -1 {
+		d.dirUp = !d.dirUp
+		best = pick(d.dirUp)
+	}
+	if best == -1 {
+		panic("hw: elevator found no request in a non-empty queue")
+	}
+	return best
+}
+
+// serviceTime computes the mechanism time for the page: sequential successor
+// pages pay transfer only; everything else pays seek + rotational latency +
+// transfer.
+func (d *Disk) serviceTime(physPage int) sim.Duration {
+	if d.lastPage >= 0 && physPage == d.lastPage+1 &&
+		d.params.Cylinder(physPage) == d.params.Cylinder(d.lastPage) {
+		d.seqHits++
+		return d.params.PageTransferTime()
+	}
+	seek := d.params.SeekTime(abs(d.params.Cylinder(physPage) - d.headCyl))
+	rot := sim.Milliseconds(d.lat.Uniform(0, d.params.MaxLatencyMS))
+	return seek + rot + d.params.PageTransferTime()
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Reads reports completed read transfers.
+func (d *Disk) Reads() int64 { return d.reads }
+
+// Writes reports completed write transfers.
+func (d *Disk) Writes() int64 { return d.writes }
+
+// SequentialHits reports transfers that were detected as sequential.
+func (d *Disk) SequentialHits() int64 { return d.seqHits }
+
+// QueueLen reports the number of waiting requests.
+func (d *Disk) QueueLen() int { return len(d.queue) }
+
+// Utilization reports the fraction of time the arm was busy.
+func (d *Disk) Utilization() float64 { return d.util.Mean(float64(d.eng.Now())) }
+
+// MeanServiceMS reports the mean per-request mechanism time, ms.
+func (d *Disk) MeanServiceMS() float64 { return d.svc.Mean() }
+
+// ResetStats restarts counters and utilization accounting (post warm-up).
+func (d *Disk) ResetStats() {
+	d.reads, d.writes, d.seqHits = 0, 0, 0
+	d.svc.Reset()
+	d.util.ResetAt(float64(d.eng.Now()))
+}

@@ -1,0 +1,339 @@
+package hw
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func testRig(t *testing.T) (*sim.Engine, Params, *CPU, *Disk) {
+	t.Helper()
+	e := sim.New()
+	p := DefaultParams()
+	cpu := NewCPU(e, "cpu0", p)
+	disk := NewDisk(e, "disk0", p, cpu, rng.NewFactory(1).Stream("lat"))
+	return e, p, cpu, disk
+}
+
+func TestCPUExecuteCharge(t *testing.T) {
+	e, p, cpu, _ := testRig(t)
+	var done sim.Time
+	e.Spawn("p", func(pr *sim.Proc) {
+		cpu.Execute(pr, 3000) // 1ms at 3 MIPS
+		done = pr.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != sim.Time(p.InstrTime(3000)) {
+		t.Fatalf("done at %v", done)
+	}
+	if cpu.Instructions() != 3000 {
+		t.Fatalf("instructions = %d", cpu.Instructions())
+	}
+}
+
+func TestCPUZeroInstrIsFree(t *testing.T) {
+	e, _, cpu, _ := testRig(t)
+	e.Spawn("p", func(pr *sim.Proc) {
+		cpu.Execute(pr, 0)
+		if pr.Now() != 0 {
+			t.Error("zero instructions consumed time")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCPUNegativeInstrPanics(t *testing.T) {
+	e, _, cpu, _ := testRig(t)
+	e.Spawn("p", func(pr *sim.Proc) { cpu.Execute(pr, -1) })
+	if err := e.Run(); err == nil {
+		t.Fatal("negative instruction count should error")
+	}
+}
+
+func TestCPUTransferPriorityServedFirst(t *testing.T) {
+	e, _, cpu, _ := testRig(t)
+	var order []string
+	e.Spawn("op1", func(pr *sim.Proc) {
+		cpu.Execute(pr, 30000) // 10ms, occupies server
+		order = append(order, "op1")
+	})
+	e.Spawn("op2", func(pr *sim.Proc) {
+		pr.Hold(sim.Millisecond)
+		cpu.Execute(pr, 3000)
+		order = append(order, "op2")
+	})
+	e.Spawn("xfer", func(pr *sim.Proc) {
+		pr.Hold(2 * sim.Millisecond)
+		cpu.ExecuteTransfer(pr, 4000)
+		order = append(order, "xfer")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"op1", "xfer", "op2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDiskRandomReadCostRange(t *testing.T) {
+	e, p, _, disk := testRig(t)
+	var elapsed sim.Duration
+	e.Spawn("p", func(pr *sim.Proc) {
+		start := pr.Now()
+		disk.Read(pr, 500*p.PagesPerCylinder) // 500 cylinders away
+		elapsed = sim.Duration(pr.Now() - start)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// seek(500) = 2 + 0.78*sqrt(500) = 19.44ms; latency in [0,16.68];
+	// transfer 4.34ms; FIFO->memory 4000 instr = 1.33ms.
+	lo, hi := 19.44+0+4.34+1.33, 19.44+16.68+4.34+1.34
+	got := elapsed.Milliseconds()
+	if got < lo-0.01 || got > hi+0.01 {
+		t.Fatalf("random read took %gms, want in [%g, %g]", got, lo, hi)
+	}
+	if disk.Reads() != 1 {
+		t.Fatalf("reads = %d", disk.Reads())
+	}
+}
+
+func TestDiskSequentialReadIsTransferOnly(t *testing.T) {
+	e, p, _, disk := testRig(t)
+	var deltas []float64
+	e.Spawn("p", func(pr *sim.Proc) {
+		for pg := 0; pg < 5; pg++ {
+			start := pr.Now()
+			disk.Read(pr, pg)
+			deltas = append(deltas, sim.Duration(pr.Now()-start).Milliseconds())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Pages 1..4 are sequential: transfer (4.34) + FIFO transfer (1.33).
+	want := p.PageTransferTime().Milliseconds() + p.InstrTime(p.XferPageInstr).Milliseconds()
+	for i := 1; i < 5; i++ {
+		if math.Abs(deltas[i]-want) > 0.01 {
+			t.Fatalf("sequential read %d took %gms, want %g", i, deltas[i], want)
+		}
+	}
+	if disk.SequentialHits() != 4 {
+		t.Fatalf("sequential hits = %d", disk.SequentialHits())
+	}
+}
+
+func TestDiskElevatorOrdering(t *testing.T) {
+	e, p, _, disk := testRig(t)
+	// Saturate the disk with requests at cylinders 900, 100, 500 while the
+	// head starts at 0 moving up; SCAN must serve 100, 500, 900.
+	var order []int
+	blocker := func(pr *sim.Proc) { disk.Read(pr, 0) } // occupy arm first
+	e.Spawn("blocker", blocker)
+	for _, cyl := range []int{900, 100, 500} {
+		cyl := cyl
+		e.Spawn("r", func(pr *sim.Proc) {
+			pr.Hold(sim.Microsecond) // enqueue while blocker in service
+			disk.Read(pr, cyl*p.PagesPerCylinder)
+			order = append(order, cyl)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{100, 500, 900}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("elevator order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDiskElevatorReversesSweep(t *testing.T) {
+	e, p, _, disk := testRig(t)
+	var order []int
+	e.Spawn("first", func(pr *sim.Proc) { disk.Read(pr, 500*p.PagesPerCylinder) })
+	for _, cyl := range []int{400, 600} {
+		cyl := cyl
+		e.Spawn("r", func(pr *sim.Proc) {
+			pr.Hold(sim.Microsecond)
+			disk.Read(pr, cyl*p.PagesPerCylinder)
+			order = append(order, cyl)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Head lands at 500 sweeping up: 600 first, then reverse to 400.
+	want := []int{600, 400}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("sweep order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDiskWriteChargesCPUAndArm(t *testing.T) {
+	e, _, cpu, disk := testRig(t)
+	e.Spawn("p", func(pr *sim.Proc) {
+		disk.Write(pr, 100)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if disk.Writes() != 1 {
+		t.Fatalf("writes = %d", disk.Writes())
+	}
+	if cpu.Instructions() != 4000 {
+		t.Fatalf("cpu instructions = %d, want 4000 (FIFO transfer)", cpu.Instructions())
+	}
+}
+
+func TestDiskOutOfRangePagePanics(t *testing.T) {
+	e, p, _, disk := testRig(t)
+	e.Spawn("p", func(pr *sim.Proc) { disk.Read(pr, p.PagesPerDisk()) })
+	if err := e.Run(); err == nil {
+		t.Fatal("out-of-range page should error")
+	}
+}
+
+func TestDiskStatsReset(t *testing.T) {
+	e, _, _, disk := testRig(t)
+	e.Spawn("p", func(pr *sim.Proc) {
+		disk.Read(pr, 10)
+		disk.ResetStats()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if disk.Reads() != 0 || disk.SequentialHits() != 0 {
+		t.Fatal("ResetStats did not clear counters")
+	}
+}
+
+func buildNet(t *testing.T, nodes int) (*sim.Engine, Params, []*CPU, *Network) {
+	t.Helper()
+	e := sim.New()
+	p := DefaultParams()
+	cpus := make([]*CPU, nodes)
+	for i := range cpus {
+		cpus[i] = NewCPU(e, "cpu", p)
+	}
+	return e, p, cpus, NewNetwork(e, p, cpus)
+}
+
+func TestNetworkDeliversPayload(t *testing.T) {
+	e, _, cpus, net := buildNet(t, 2)
+	var got any
+	e.Spawn("sender", func(pr *sim.Proc) {
+		net.Send(pr, cpus[0], Message{From: 0, To: 1, Bytes: 100, Payload: "hello"})
+	})
+	e.Spawn("receiver", func(pr *sim.Proc) {
+		m := net.Inbox(1).Get(pr)
+		got = m.Payload
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "hello" {
+		t.Fatalf("payload = %v", got)
+	}
+	if net.Sent(0) != 1 || net.BytesSent(0) != 100 {
+		t.Fatalf("sent=%d bytes=%d", net.Sent(0), net.BytesSent(0))
+	}
+}
+
+func TestNetworkSplitsOversizeMessages(t *testing.T) {
+	e, p, cpus, net := buildNet(t, 2)
+	payloads := 0
+	fragments := 0
+	e.Spawn("sender", func(pr *sim.Proc) {
+		net.Send(pr, cpus[0], Message{From: 0, To: 1, Bytes: p.MaxPacket*2 + 100, Payload: "tail"})
+	})
+	e.Spawn("receiver", func(pr *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			m := net.Inbox(1).Get(pr)
+			fragments++
+			if m.Payload != nil {
+				payloads++
+				if m.Payload != "tail" {
+					t.Errorf("payload = %v", m.Payload)
+				}
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fragments != 3 || payloads != 1 {
+		t.Fatalf("fragments=%d payloads=%d", fragments, payloads)
+	}
+	if net.Sent(0) != 3 {
+		t.Fatalf("sent = %d packets", net.Sent(0))
+	}
+}
+
+func TestNetworkSenderPaysCPU(t *testing.T) {
+	e, p, cpus, net := buildNet(t, 2)
+	var elapsed sim.Duration
+	e.Spawn("sender", func(pr *sim.Proc) {
+		start := pr.Now()
+		net.Send(pr, cpus[0], Message{From: 0, To: 1, Bytes: 100, Payload: 1})
+		elapsed = sim.Duration(pr.Now() - start)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Sender pays MsgCost(100)=0.6ms + wire time.
+	want := p.MsgCost(100) + p.WireTime(100)
+	if elapsed != want {
+		t.Fatalf("sender blocked %v, want %v", elapsed, want)
+	}
+}
+
+func TestNetworkReceiverChargedAtTransferPriority(t *testing.T) {
+	e, p, cpus, net := buildNet(t, 2)
+	e.Spawn("sender", func(pr *sim.Proc) {
+		net.Send(pr, cpus[0], Message{From: 0, To: 1, Bytes: 100, Payload: 1})
+	})
+	e.Spawn("receiver", func(pr *sim.Proc) {
+		net.Inbox(1).Get(pr)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Receiver CPU charged RecvCostFraction * 0.6ms.
+	wantInstr := int64(float64(p.MsgCost(100)) * p.RecvCostFraction / 1000 * p.MIPS)
+	if got := cpus[1].Instructions(); got != wantInstr {
+		t.Fatalf("receiver instructions = %d, want %d", got, wantInstr)
+	}
+}
+
+func TestNetworkBadEndpointsPanic(t *testing.T) {
+	e, _, cpus, net := buildNet(t, 2)
+	e.Spawn("sender", func(pr *sim.Proc) {
+		net.Send(pr, cpus[0], Message{From: 0, To: 5, Bytes: 100})
+	})
+	if err := e.Run(); err == nil {
+		t.Fatal("bad destination should error")
+	}
+}
+
+func TestNetworkZeroBytesPanics(t *testing.T) {
+	e, _, cpus, net := buildNet(t, 2)
+	e.Spawn("sender", func(pr *sim.Proc) {
+		net.Send(pr, cpus[0], Message{From: 0, To: 1, Bytes: 0})
+	})
+	if err := e.Run(); err == nil {
+		t.Fatal("zero-byte message should error")
+	}
+}

@@ -1,0 +1,142 @@
+package hw
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Message is one transmission on the interconnect. Payload semantics belong
+// to the caller (the execution layer defines control and data message
+// types); hw charges costs from Bytes alone.
+type Message struct {
+	From, To int
+	Bytes    int
+	Payload  any
+}
+
+// NIC is one node's network interface: a FCFS facility serializing outgoing
+// transmissions plus a receive path that charges the node CPU for each
+// arriving message before delivering it to the node's inbox.
+type NIC struct {
+	node  int
+	out   *sim.Facility
+	rx    *sim.Mailbox[Message] // wire -> interrupt handler
+	inbox *sim.Mailbox[Message] // interrupt handler -> application
+
+	sent, received int64
+	bytesSent      int64
+}
+
+// Network is the fully connected interconnect of Figure 7. Node IDs are
+// 0..n-1 in the order the CPUs were supplied; by convention the execution
+// layer uses the last ID for the scheduler/host node.
+type Network struct {
+	eng    *sim.Engine
+	params Params
+	nics   []*NIC
+}
+
+// NewNetwork wires one NIC per CPU. Each NIC gets a receive-interrupt
+// process charging cpus[i] at transfer priority for arriving messages.
+//
+// A nil entry in cpus marks an uncharged endpoint: the paper's Figure 7
+// gives CPUs to operator nodes only, while the Query Manager, Scheduler and
+// System Catalog are stand-alone coordination modules. Messages sent from a
+// nil-CPU endpoint delay the sending process for the protocol cost but
+// contend for no processor, and arriving messages are delivered without a
+// receive-interrupt charge.
+func NewNetwork(e *sim.Engine, params Params, cpus []*CPU) *Network {
+	n := &Network{eng: e, params: params, nics: make([]*NIC, len(cpus))}
+	for i := range cpus {
+		nic := &NIC{
+			node:  i,
+			out:   sim.NewFacility(e, fmt.Sprintf("nic%d.out", i)),
+			rx:    sim.NewMailbox[Message](e, fmt.Sprintf("nic%d.rx", i)),
+			inbox: sim.NewMailbox[Message](e, fmt.Sprintf("nic%d.inbox", i)),
+		}
+		n.nics[i] = nic
+		cpu := cpus[i]
+		e.Spawn(fmt.Sprintf("nic%d.recv", i), func(p *sim.Proc) {
+			for {
+				m := nic.rx.Get(p)
+				if cpu != nil {
+					// Receive-side protocol processing: a fraction of the
+					// sender cost, charged at interrupt (transfer) priority.
+					cost := sim.Duration(float64(n.params.MsgCost(m.Bytes)) * n.params.RecvCostFraction)
+					cpu.ExecuteTime(p, cost, PrioTransfer)
+				}
+				nic.received++
+				nic.inbox.Put(m)
+			}
+		})
+	}
+	return n
+}
+
+// Nodes reports the number of network endpoints.
+func (n *Network) Nodes() int { return len(n.nics) }
+
+// Send transmits msg, blocking the sending process for the sender-side CPU
+// protocol cost and the NIC transmission time. Messages larger than
+// MaxPacket are split into maximal packets, each paying full per-packet
+// costs (Table 2 caps packets at 8 KB).
+func (n *Network) Send(p *sim.Proc, cpu *CPU, msg Message) {
+	if msg.To < 0 || msg.To >= len(n.nics) || msg.From < 0 || msg.From >= len(n.nics) {
+		panic(fmt.Sprintf("hw: message endpoints out of range: %d -> %d", msg.From, msg.To))
+	}
+	if msg.Bytes <= 0 {
+		panic(fmt.Sprintf("hw: message must have positive size, got %d", msg.Bytes))
+	}
+	src := n.nics[msg.From]
+	remaining := msg.Bytes
+	for remaining > 0 {
+		chunk := remaining
+		if chunk > n.params.MaxPacket {
+			chunk = n.params.MaxPacket
+		}
+		remaining -= chunk
+		last := remaining == 0
+		// Sender protocol processing on the node CPU (or a pure delay for
+		// an uncharged coordination endpoint), then transmission serialized
+		// through the outgoing NIC.
+		if cpu != nil {
+			cpu.ExecuteTime(p, n.params.MsgCost(chunk), PrioNormal)
+		} else {
+			p.Hold(n.params.MsgCost(chunk))
+		}
+		src.out.Use(p, n.params.WireTime(chunk))
+		src.sent++
+		src.bytesSent += int64(chunk)
+		n.eng.Tracef(fmt.Sprintf("net %d->%d", msg.From, msg.To),
+			"packet %dB", chunk)
+		if last {
+			// Deliver the logical message with the final packet.
+			n.nics[msg.To].rx.Put(Message{From: msg.From, To: msg.To, Bytes: chunk, Payload: msg.Payload})
+		} else {
+			n.nics[msg.To].rx.Put(Message{From: msg.From, To: msg.To, Bytes: chunk})
+		}
+	}
+}
+
+// Inbox returns the application-level inbox for a node. Messages appear here
+// after receive-side CPU processing. Fragments of an oversize message arrive
+// as separate entries; only the final fragment carries the payload.
+func (n *Network) Inbox(node int) *sim.Mailbox[Message] { return n.nics[node].inbox }
+
+// Sent reports packets transmitted by a node.
+func (n *Network) Sent(node int) int64 { return n.nics[node].sent }
+
+// Received reports messages delivered to a node's inbox path.
+func (n *Network) Received(node int) int64 { return n.nics[node].received }
+
+// BytesSent reports bytes transmitted by a node.
+func (n *Network) BytesSent(node int) int64 { return n.nics[node].bytesSent }
+
+// ResetStats clears per-node counters (post warm-up).
+func (n *Network) ResetStats() {
+	for _, nic := range n.nics {
+		nic.sent, nic.received, nic.bytesSent = 0, 0, 0
+		nic.out.ResetStats()
+	}
+}

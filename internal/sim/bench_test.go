@@ -1,0 +1,60 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventThroughput measures raw kernel hand-off speed: one process
+// holding repeatedly.
+func BenchmarkEventThroughput(b *testing.B) {
+	e := New()
+	e.Spawn("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Hold(Microsecond)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFacilityContention measures a contended FCFS facility with 16
+// processes.
+func BenchmarkFacilityContention(b *testing.B) {
+	e := New()
+	f := NewFacility(e, "cpu")
+	per := b.N/16 + 1
+	for w := 0; w < 16; w++ {
+		e.Spawn("w", func(p *Proc) {
+			for i := 0; i < per; i++ {
+				f.Use(p, Microsecond)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMailboxPingPong measures two processes exchanging messages.
+func BenchmarkMailboxPingPong(b *testing.B) {
+	e := New()
+	ping := NewMailbox[int](e, "ping")
+	pong := NewMailbox[int](e, "pong")
+	e.Spawn("a", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			ping.Put(i)
+			pong.Get(p)
+		}
+	})
+	e.Spawn("b", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			ping.Get(p)
+			pong.Put(i)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,290 @@
+// Package sim is a process-oriented discrete-event simulation kernel. It
+// plays the role DeNet [Liv88] plays in the paper: model components (disk
+// managers, CPU schedulers, network interfaces, relational operators,
+// terminals) are written as sequential processes that hold for simulated
+// time, use facilities, and exchange messages through mailboxes, while the
+// kernel advances a global virtual clock.
+//
+// Each process runs on its own goroutine, but the kernel hands control to
+// exactly one process at a time and every wake-up flows through a single
+// event heap ordered by (time, sequence number). Runs are therefore fully
+// deterministic for a fixed seed and configuration.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime/debug"
+)
+
+// Time is a point in simulated time, in nanoseconds since the start of the
+// run. Using a fixed-point representation keeps the event ordering exact.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration int64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Milliseconds converts a float64 millisecond count (the unit the paper's
+// Table 2 uses) to a Duration, rounding to the nearest nanosecond.
+func Milliseconds(ms float64) Duration {
+	return Duration(ms*1e6 + 0.5)
+}
+
+// Seconds reports t in seconds as a float64, for throughput arithmetic.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Milliseconds reports t in milliseconds as a float64.
+func (t Time) Milliseconds() float64 { return float64(t) / 1e6 }
+
+// Milliseconds reports d in milliseconds as a float64.
+func (d Duration) Milliseconds() float64 { return float64(d) / 1e6 }
+
+// Seconds reports d in seconds as a float64.
+func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
+
+func (t Time) String() string     { return fmt.Sprintf("%.3fms", t.Milliseconds()) }
+func (d Duration) String() string { return fmt.Sprintf("%.3fms", d.Milliseconds()) }
+
+// event is a heap entry: either resume a parked process or run a callback.
+type event struct {
+	t   Time
+	seq uint64
+	p   *Proc
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the simulation kernel. Create one with New, spawn processes,
+// then call Run or RunUntil. An Engine is single-threaded by construction
+// and must not be shared across goroutines other than its own processes.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	yielded chan struct{}
+	stopped bool
+	err     error
+	active  int // processes spawned and not yet finished
+	parked  int // processes blocked with no scheduled event
+	trace   func(t Time, who, what string)
+}
+
+// New returns an empty engine at time zero.
+func New() *Engine {
+	return &Engine{yielded: make(chan struct{})}
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// SetTrace installs a trace hook invoked on process and facility activity.
+// Pass nil to disable. Tracing is intended for the querytrace tool and tests.
+func (e *Engine) SetTrace(fn func(t Time, who, what string)) { e.trace = fn }
+
+// Tracef emits a trace record if tracing is enabled.
+func (e *Engine) Tracef(who, format string, args ...any) {
+	if e.trace != nil {
+		e.trace(e.now, who, fmt.Sprintf(format, args...))
+	}
+}
+
+func (e *Engine) nextSeq() uint64 {
+	e.seq++
+	return e.seq
+}
+
+// schedule pushes an event onto the heap.
+func (e *Engine) schedule(ev event) {
+	if ev.t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past: %v < %v", ev.t, e.now))
+	}
+	heap.Push(&e.events, ev)
+}
+
+// Schedule runs fn at the current time plus d. It may be called from within
+// a process or from another callback.
+func (e *Engine) Schedule(d Duration, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	e.schedule(event{t: e.now + Time(d), seq: e.nextSeq(), fn: fn})
+}
+
+// fail records a fatal error (e.g. a panicking process); Run returns it.
+func (e *Engine) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+	e.stopped = true
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Resume clears a Stop so Run/RunUntil can continue processing the
+// remaining events. It does not clear a recorded process error.
+func (e *Engine) Resume() { e.stopped = e.err != nil }
+
+// Run processes events until the heap is empty, Stop is called, or a process
+// panics. It returns the first process error, if any. Processes still parked
+// on mailboxes when the heap drains are left parked; this is normal for
+// server processes.
+func (e *Engine) Run() error { return e.RunUntil(Time(1<<62 - 1)) }
+
+// RunUntil processes events with timestamps <= deadline, then sets the clock
+// to the deadline (if it advanced that far). See Run for the return value.
+func (e *Engine) RunUntil(deadline Time) error {
+	for !e.stopped && len(e.events) > 0 {
+		if e.events[0].t > deadline {
+			e.now = deadline
+			return e.err
+		}
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.t
+		if ev.fn != nil {
+			ev.fn()
+			continue
+		}
+		if ev.p.finished {
+			continue // process already ran to completion or unwound
+		}
+		ev.p.resume <- struct{}{}
+		<-e.yielded
+	}
+	return e.err
+}
+
+// Proc is a simulation process: a goroutine that the kernel runs one at a
+// time. All Proc methods must be called from the process's own body.
+type Proc struct {
+	eng      *Engine
+	name     string
+	resume   chan struct{}
+	killed   bool // Kill was requested; unwind at next resume
+	finished bool // goroutine has exited (normally, by panic, or by Kill)
+}
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Name reports the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now reports the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Spawn creates a process that begins executing fn at the current time
+// (after already-scheduled events at this timestamp).
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.SpawnAt(e.now, name, fn)
+}
+
+// SpawnAt creates a process that begins executing fn at time t.
+func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.active++
+	go func() {
+		<-p.resume
+		defer func() {
+			p.finished = true
+			e.active--
+			if r := recover(); r != nil {
+				if r == errKilled {
+					// Deliberate teardown via Kill; not an error.
+					e.yielded <- struct{}{}
+					return
+				}
+				e.fail(fmt.Errorf("sim: process %q panicked: %v\n%s", name, r, debug.Stack()))
+			}
+			e.yielded <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.schedule(event{t: t, seq: e.nextSeq(), p: p})
+	return p
+}
+
+// errKilled is the sentinel panic used to unwind a killed process.
+var errKilled = new(int)
+
+// yield returns control to the kernel until the process is resumed.
+func (p *Proc) yield() {
+	p.eng.yielded <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(errKilled)
+	}
+}
+
+// Hold advances the process by d simulated time.
+func (p *Proc) Hold(d Duration) {
+	if d < 0 {
+		panic("sim: negative hold")
+	}
+	e := p.eng
+	e.schedule(event{t: e.now + Time(d), seq: e.nextSeq(), p: p})
+	p.yield()
+}
+
+// park blocks the process with no scheduled wake-up; some other entity must
+// call wake. Used by mailboxes, facilities and triggers.
+func (p *Proc) Park() {
+	p.eng.parked++
+	defer func() { p.eng.parked-- }()
+	p.yield()
+}
+
+// wake schedules the parked process to resume at the current time.
+func (e *Engine) Wake(p *Proc) {
+	e.schedule(event{t: e.now, seq: e.nextSeq(), p: p})
+}
+
+// Kill tears down a parked or held process. The next time the process would
+// be resumed it unwinds instead. Killing an already-finished process is a
+// no-op. Used by experiment drivers to retire terminal processes.
+func (e *Engine) Kill(p *Proc) {
+	if p.finished || p.killed {
+		return
+	}
+	p.killed = true
+	// If parked (no event scheduled), resume it now so it can unwind.
+	e.schedule(event{t: e.now, seq: e.nextSeq(), p: p})
+}
+
+// Active reports the number of live processes (running, held, or parked).
+func (e *Engine) Active() int { return e.active }
+
+// Parked reports the number of processes blocked with no scheduled event.
+func (e *Engine) Parked() int { return e.parked }
+
+// Pending reports the number of events in the heap.
+func (e *Engine) Pending() int { return len(e.events) }

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Facility is a single-server queueing station with FCFS service within a
+// priority class and higher priority classes served first (non-preemptive:
+// an in-service request always completes). It models the paper's CPU module
+// ("FCFS non-preemptive scheduling on all requests, except for byte
+// transfers to/from the disk's FIFO buffer", which we map to a high-priority
+// class) and the FCFS network interfaces.
+type Facility struct {
+	eng  *Engine
+	name string
+
+	busy    bool
+	queue   []facRequest
+	nextSeq uint64
+
+	util    stats.TimeWeighted // 0/1 busy indicator over time
+	qlen    stats.TimeWeighted // queue length (excluding in service)
+	served  int64
+	svcTime stats.Accumulator // service durations, ms
+	wait    stats.Accumulator // queueing delays (excluding service), ms
+}
+
+type facRequest struct {
+	p       *Proc
+	service Duration
+	prio    int
+	seq     uint64
+	arrived Time
+}
+
+// NewFacility creates a facility attached to the engine.
+func NewFacility(e *Engine, name string) *Facility {
+	f := &Facility{eng: e, name: name}
+	f.util.Set(float64(e.now), 0)
+	f.qlen.Set(float64(e.now), 0)
+	return f
+}
+
+// Name reports the facility name.
+func (f *Facility) Name() string { return f.name }
+
+// Use requests service time from the facility at default priority and blocks
+// the calling process until the service completes.
+func (f *Facility) Use(p *Proc, service Duration) { f.UsePriority(p, service, 0) }
+
+// UsePriority requests service at the given priority. Larger priorities are
+// served first; ties are FCFS.
+func (f *Facility) UsePriority(p *Proc, service Duration, prio int) {
+	if service < 0 {
+		panic(fmt.Sprintf("sim: facility %s: negative service time", f.name))
+	}
+	f.nextSeq++
+	req := facRequest{p: p, service: service, prio: prio, seq: f.nextSeq, arrived: f.eng.now}
+	if f.busy {
+		f.enqueue(req)
+		f.qlen.Set(float64(f.eng.now), float64(len(f.queue)))
+		p.Park() // woken when our service completes
+		return
+	}
+	f.serve(req)
+	p.Park()
+}
+
+// enqueue inserts by (priority desc, seq asc).
+func (f *Facility) enqueue(req facRequest) {
+	i := len(f.queue)
+	for i > 0 {
+		prev := f.queue[i-1]
+		if prev.prio >= req.prio {
+			break
+		}
+		i--
+	}
+	f.queue = append(f.queue, facRequest{})
+	copy(f.queue[i+1:], f.queue[i:])
+	f.queue[i] = req
+}
+
+// serve starts service for req; on completion wakes the owner and starts the
+// next queued request.
+func (f *Facility) serve(req facRequest) {
+	f.busy = true
+	now := f.eng.now
+	f.util.Set(float64(now), 1)
+	f.wait.Add(Duration(now - req.arrived).Milliseconds())
+	f.eng.Tracef(f.name, "serve %s for %v (prio %d)", req.p.name, req.service, req.prio)
+	f.eng.Schedule(req.service, func() {
+		f.served++
+		f.svcTime.Add(req.service.Milliseconds())
+		f.eng.Wake(req.p)
+		if len(f.queue) > 0 {
+			next := f.queue[0]
+			copy(f.queue, f.queue[1:])
+			f.queue = f.queue[:len(f.queue)-1]
+			f.qlen.Set(float64(f.eng.now), float64(len(f.queue)))
+			f.serve(next)
+		} else {
+			f.busy = false
+			f.util.Set(float64(f.eng.now), 0)
+		}
+	})
+}
+
+// Busy reports whether the facility is currently serving a request.
+func (f *Facility) Busy() bool { return f.busy }
+
+// QueueLen reports the number of waiting (not in service) requests.
+func (f *Facility) QueueLen() int { return len(f.queue) }
+
+// Served reports the number of completed services.
+func (f *Facility) Served() int64 { return f.served }
+
+// Utilization reports the fraction of time the facility was busy up to now.
+func (f *Facility) Utilization() float64 { return f.util.Mean(float64(f.eng.now)) }
+
+// MeanQueueLen reports the time-average queue length up to now.
+func (f *Facility) MeanQueueLen() float64 { return f.qlen.Mean(float64(f.eng.now)) }
+
+// MeanWaitMS reports the mean queueing delay in milliseconds.
+func (f *Facility) MeanWaitMS() float64 { return f.wait.Mean() }
+
+// MeanServiceMS reports the mean service time in milliseconds.
+func (f *Facility) MeanServiceMS() float64 { return f.svcTime.Mean() }
+
+// ResetStats restarts utilization/queue-length averaging at the current time
+// and clears counters; used to discard warm-up transients.
+func (f *Facility) ResetStats() {
+	f.util.ResetAt(float64(f.eng.now))
+	f.qlen.ResetAt(float64(f.eng.now))
+	f.served = 0
+	f.svcTime.Reset()
+	f.wait.Reset()
+}

@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacilityFCFS(t *testing.T) {
+	e := New()
+	f := NewFacility(e, "cpu")
+	var doneAt []Time
+	for i := 0; i < 3; i++ {
+		e.Spawn("p", func(p *Proc) {
+			f.Use(p, 10*Millisecond)
+			doneAt = append(doneAt, p.Now())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{10 * Time(Millisecond), 20 * Time(Millisecond), 30 * Time(Millisecond)}
+	for i := range want {
+		if doneAt[i] != want[i] {
+			t.Fatalf("completion %d at %v, want %v", i, doneAt[i], want[i])
+		}
+	}
+	if f.Served() != 3 {
+		t.Fatalf("served = %d", f.Served())
+	}
+}
+
+func TestFacilityPriorityJumpsQueue(t *testing.T) {
+	e := New()
+	f := NewFacility(e, "cpu")
+	var order []string
+	// At t=0, "long" grabs the server for 10ms. At t=1ms, "normal" queues.
+	// At t=2ms "urgent" queues with priority 1 and must be served before
+	// "normal" despite arriving later (head-of-line priority).
+	e.Spawn("long", func(p *Proc) {
+		f.Use(p, 10*Millisecond)
+		order = append(order, "long")
+	})
+	e.Spawn("normal", func(p *Proc) {
+		p.Hold(Millisecond)
+		f.Use(p, Millisecond)
+		order = append(order, "normal")
+	})
+	e.Spawn("urgent", func(p *Proc) {
+		p.Hold(2 * Millisecond)
+		f.UsePriority(p, Millisecond, 1)
+		order = append(order, "urgent")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"long", "urgent", "normal"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestFacilityPriorityIsNonPreemptive(t *testing.T) {
+	e := New()
+	f := NewFacility(e, "cpu")
+	var longDone Time
+	e.Spawn("long", func(p *Proc) {
+		f.Use(p, 10*Millisecond)
+		longDone = p.Now()
+	})
+	e.Spawn("urgent", func(p *Proc) {
+		p.Hold(Millisecond)
+		f.UsePriority(p, Millisecond, 5)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if longDone != 10*Time(Millisecond) {
+		t.Fatalf("in-service request was preempted: done at %v", longDone)
+	}
+}
+
+func TestFacilityFIFOWithinPriority(t *testing.T) {
+	e := New()
+	f := NewFacility(e, "cpu")
+	var order []int
+	e.Spawn("blocker", func(p *Proc) { f.Use(p, 5*Millisecond) })
+	for i := 0; i < 4; i++ {
+		i := i
+		e.Spawn("w", func(p *Proc) {
+			p.Hold(Duration(i+1) * Microsecond)
+			f.UsePriority(p, Millisecond, 1)
+			order = append(order, i)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestFacilityUtilization(t *testing.T) {
+	e := New()
+	f := NewFacility(e, "disk")
+	e.Spawn("p", func(p *Proc) {
+		f.Use(p, 10*Millisecond) // busy [0,10)
+		p.Hold(10 * Millisecond) // idle [10,20)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if u := f.Utilization(); math.Abs(u-0.5) > 1e-9 {
+		t.Fatalf("utilization = %g, want 0.5", u)
+	}
+}
+
+func TestFacilityWaitAccounting(t *testing.T) {
+	e := New()
+	f := NewFacility(e, "f")
+	e.Spawn("a", func(p *Proc) { f.Use(p, 4*Millisecond) })
+	e.Spawn("b", func(p *Proc) { f.Use(p, 4*Millisecond) }) // waits 4ms
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if w := f.MeanWaitMS(); math.Abs(w-2.0) > 1e-9 { // (0+4)/2
+		t.Fatalf("mean wait = %g, want 2", w)
+	}
+	if s := f.MeanServiceMS(); math.Abs(s-4.0) > 1e-9 {
+		t.Fatalf("mean service = %g, want 4", s)
+	}
+}
+
+func TestFacilityResetStats(t *testing.T) {
+	e := New()
+	f := NewFacility(e, "f")
+	e.Spawn("p", func(p *Proc) {
+		f.Use(p, 10*Millisecond)
+		f.ResetStats()
+		p.Hold(10 * Millisecond)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Served() != 0 {
+		t.Fatalf("served after reset = %d", f.Served())
+	}
+	if u := f.Utilization(); u != 0 {
+		t.Fatalf("utilization after reset = %g", u)
+	}
+}
+
+func TestFacilityNegativeServicePanics(t *testing.T) {
+	e := New()
+	f := NewFacility(e, "f")
+	e.Spawn("p", func(p *Proc) { f.Use(p, -1) })
+	if err := e.Run(); err == nil {
+		t.Fatal("negative service should surface as error")
+	}
+}

@@ -1,0 +1,143 @@
+package sim
+
+// Mailbox is an unbounded FIFO message queue between simulation processes.
+// Any number of producers (processes or callbacks) may Put; any number of
+// consumer processes may Get. Messages are delivered in Put order and each
+// message wakes at most one waiting consumer.
+type Mailbox[T any] struct {
+	eng     *Engine
+	name    string
+	msgs    []T
+	waiters []*Proc
+	puts    int64
+}
+
+// NewMailbox creates a mailbox attached to the engine.
+func NewMailbox[T any](e *Engine, name string) *Mailbox[T] {
+	return &Mailbox[T]{eng: e, name: name}
+}
+
+// Name reports the mailbox name.
+func (m *Mailbox[T]) Name() string { return m.name }
+
+// Put enqueues a message and wakes one waiting consumer, if any. It never
+// blocks and may be called from event callbacks as well as processes.
+func (m *Mailbox[T]) Put(v T) {
+	m.msgs = append(m.msgs, v)
+	m.puts++
+	if len(m.waiters) > 0 {
+		p := m.waiters[0]
+		copy(m.waiters, m.waiters[1:])
+		m.waiters = m.waiters[:len(m.waiters)-1]
+		m.eng.Wake(p)
+	}
+}
+
+// Get removes and returns the oldest message, blocking the calling process
+// until one is available.
+func (m *Mailbox[T]) Get(p *Proc) T {
+	for len(m.msgs) == 0 {
+		m.waiters = append(m.waiters, p)
+		p.Park()
+	}
+	v := m.msgs[0]
+	copy(m.msgs, m.msgs[1:])
+	m.msgs = m.msgs[:len(m.msgs)-1]
+	return v
+}
+
+// TryGet removes and returns the oldest message without blocking. The second
+// result reports whether a message was available.
+func (m *Mailbox[T]) TryGet() (T, bool) {
+	var zero T
+	if len(m.msgs) == 0 {
+		return zero, false
+	}
+	v := m.msgs[0]
+	copy(m.msgs, m.msgs[1:])
+	m.msgs = m.msgs[:len(m.msgs)-1]
+	return v, true
+}
+
+// Len reports the number of queued messages.
+func (m *Mailbox[T]) Len() int { return len(m.msgs) }
+
+// Puts reports the total number of messages ever Put.
+func (m *Mailbox[T]) Puts() int64 { return m.puts }
+
+// Trigger is a one-shot completion event: processes Wait on it, and Fire
+// releases all current and future waiters. It coordinates, e.g., a query
+// scheduler waiting for every participating operator to report done.
+type Trigger struct {
+	eng       *Engine
+	fired     bool
+	waiters   []*Proc
+	callbacks []func()
+}
+
+// NewTrigger creates an unfired trigger.
+func NewTrigger(e *Engine) *Trigger { return &Trigger{eng: e} }
+
+// Wait blocks the process until the trigger fires. If it has already fired,
+// Wait returns immediately.
+func (t *Trigger) Wait(p *Proc) {
+	for !t.fired {
+		t.waiters = append(t.waiters, p)
+		p.Park()
+	}
+}
+
+// Fire releases all waiters and runs registered callbacks. Firing twice is
+// a no-op.
+func (t *Trigger) Fire() {
+	if t.fired {
+		return
+	}
+	t.fired = true
+	for _, p := range t.waiters {
+		t.eng.Wake(p)
+	}
+	t.waiters = nil
+	for _, fn := range t.callbacks {
+		fn()
+	}
+	t.callbacks = nil
+}
+
+// Fired reports whether the trigger has fired.
+func (t *Trigger) Fired() bool { return t.fired }
+
+// Gate counts down from n and fires an inner trigger when it reaches zero.
+// It models barrier-style coordination (e.g. "wait for all participants").
+type Gate struct {
+	remaining int
+	trigger   *Trigger
+}
+
+// NewGate creates a gate that opens after n calls to Done. A gate with n<=0
+// is already open.
+func NewGate(e *Engine, n int) *Gate {
+	g := &Gate{remaining: n, trigger: NewTrigger(e)}
+	if n <= 0 {
+		g.trigger.Fire()
+	}
+	return g
+}
+
+// Done decrements the counter, opening the gate at zero. Calling Done more
+// times than the initial count panics: it indicates a protocol bug.
+func (g *Gate) Done() {
+	if g.remaining <= 0 {
+		panic("sim: Gate.Done called after gate already open")
+	}
+	g.remaining--
+	if g.remaining == 0 {
+		g.trigger.Fire()
+	}
+}
+
+// Wait blocks until the gate opens.
+func (g *Gate) Wait(p *Proc) { g.trigger.Wait(p) }
+
+// Remaining reports how many Done calls are still outstanding.
+func (g *Gate) Remaining() int { return g.remaining }

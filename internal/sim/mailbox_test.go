@@ -1,0 +1,255 @@
+package sim
+
+import "testing"
+
+func TestMailboxFIFO(t *testing.T) {
+	e := New()
+	mb := NewMailbox[int](e, "mb")
+	var got []int
+	e.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			mb.Put(i)
+			p.Hold(Millisecond)
+		}
+	})
+	e.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			got = append(got, mb.Get(p))
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("got %v", got)
+		}
+	}
+	if mb.Puts() != 5 {
+		t.Fatalf("puts = %d", mb.Puts())
+	}
+}
+
+func TestMailboxBlocksUntilMessage(t *testing.T) {
+	e := New()
+	mb := NewMailbox[string](e, "mb")
+	var when Time
+	e.Spawn("consumer", func(p *Proc) {
+		mb.Get(p)
+		when = p.Now()
+	})
+	e.Spawn("producer", func(p *Proc) {
+		p.Hold(9 * Millisecond)
+		mb.Put("hi")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if when != 9*Time(Millisecond) {
+		t.Fatalf("consumer resumed at %v", when)
+	}
+}
+
+func TestMailboxMultipleConsumersEachMessageDeliveredOnce(t *testing.T) {
+	e := New()
+	mb := NewMailbox[int](e, "mb")
+	delivered := map[int]int{}
+	for c := 0; c < 3; c++ {
+		e.Spawn("consumer", func(p *Proc) {
+			v := mb.Get(p)
+			delivered[v]++
+		})
+	}
+	e.Spawn("producer", func(p *Proc) {
+		p.Hold(Millisecond)
+		for i := 0; i < 3; i++ {
+			mb.Put(i)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(delivered) != 3 {
+		t.Fatalf("delivered = %v", delivered)
+	}
+	for v, n := range delivered {
+		if n != 1 {
+			t.Fatalf("message %d delivered %d times", v, n)
+		}
+	}
+}
+
+func TestMailboxTryGet(t *testing.T) {
+	e := New()
+	mb := NewMailbox[int](e, "mb")
+	if _, ok := mb.TryGet(); ok {
+		t.Fatal("TryGet on empty mailbox returned ok")
+	}
+	mb.Put(7)
+	if v, ok := mb.TryGet(); !ok || v != 7 {
+		t.Fatalf("TryGet = (%d, %v)", v, ok)
+	}
+	if mb.Len() != 0 {
+		t.Fatalf("len = %d", mb.Len())
+	}
+}
+
+func TestTriggerReleasesAllWaiters(t *testing.T) {
+	e := New()
+	tr := NewTrigger(e)
+	released := 0
+	for i := 0; i < 4; i++ {
+		e.Spawn("w", func(p *Proc) {
+			tr.Wait(p)
+			released++
+		})
+	}
+	e.Spawn("firer", func(p *Proc) {
+		p.Hold(Millisecond)
+		tr.Fire()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if released != 4 {
+		t.Fatalf("released = %d", released)
+	}
+}
+
+func TestTriggerWaitAfterFireReturnsImmediately(t *testing.T) {
+	e := New()
+	tr := NewTrigger(e)
+	tr.Fire()
+	tr.Fire() // double fire is a no-op
+	var when Time = -1
+	e.Spawn("w", func(p *Proc) {
+		tr.Wait(p)
+		when = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if when != 0 {
+		t.Fatalf("waiter resumed at %v", when)
+	}
+	if !tr.Fired() {
+		t.Fatal("trigger should report fired")
+	}
+}
+
+func TestGateOpensAfterNDone(t *testing.T) {
+	e := New()
+	g := NewGate(e, 3)
+	var opened Time = -1
+	e.Spawn("waiter", func(p *Proc) {
+		g.Wait(p)
+		opened = p.Now()
+	})
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn("worker", func(p *Proc) {
+			p.Hold(Duration(i+1) * Millisecond)
+			g.Done()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if opened != 3*Time(Millisecond) {
+		t.Fatalf("gate opened at %v", opened)
+	}
+	if g.Remaining() != 0 {
+		t.Fatalf("remaining = %d", g.Remaining())
+	}
+}
+
+func TestGateZeroIsOpen(t *testing.T) {
+	e := New()
+	g := NewGate(e, 0)
+	passed := false
+	e.Spawn("w", func(p *Proc) {
+		g.Wait(p)
+		passed = true
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !passed {
+		t.Fatal("zero gate should be open")
+	}
+}
+
+func TestGateExtraDonePanics(t *testing.T) {
+	e := New()
+	g := NewGate(e, 1)
+	e.Spawn("w", func(p *Proc) {
+		g.Done()
+		g.Done()
+	})
+	if err := e.Run(); err == nil {
+		t.Fatal("extra Done should surface as error")
+	}
+}
+
+func TestWaitTimeoutFires(t *testing.T) {
+	e := New()
+	tr := NewTrigger(e)
+	var ok bool
+	var when Time
+	e.Spawn("waiter", func(p *Proc) {
+		ok = tr.WaitTimeout(p, 10*Millisecond)
+		when = p.Now()
+	})
+	e.Spawn("firer", func(p *Proc) {
+		p.Hold(3 * Millisecond)
+		tr.Fire()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("trigger fired before the deadline but WaitTimeout reported timeout")
+	}
+	if when != 3*Time(Millisecond) {
+		t.Fatalf("waiter resumed at %v", when)
+	}
+}
+
+func TestWaitTimeoutExpires(t *testing.T) {
+	e := New()
+	tr := NewTrigger(e)
+	var ok bool
+	var when Time
+	e.Spawn("waiter", func(p *Proc) {
+		ok = tr.WaitTimeout(p, 5*Millisecond)
+		when = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("WaitTimeout reported success though the trigger never fired")
+	}
+	if when != 5*Time(Millisecond) {
+		t.Fatalf("waiter resumed at %v, want the 5ms deadline", when)
+	}
+}
+
+func TestWaitTimeoutAlreadyFired(t *testing.T) {
+	e := New()
+	tr := NewTrigger(e)
+	tr.Fire()
+	var ok bool
+	e.Spawn("waiter", func(p *Proc) {
+		ok = tr.WaitTimeout(p, Millisecond)
+		if p.Now() != 0 {
+			t.Error("pre-fired trigger should return immediately")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("pre-fired trigger reported timeout")
+	}
+}

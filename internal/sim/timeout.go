@@ -1,0 +1,30 @@
+package sim
+
+// WaitTimeout blocks the process until the trigger fires or d elapses,
+// whichever comes first, and reports whether the trigger fired. It is the
+// guard a coordination protocol needs around a wait that a lost or
+// misrouted message could otherwise stall forever. If both the trigger and
+// the deadline land on the same instant, the trigger wins (the event did
+// happen by the deadline).
+func (t *Trigger) WaitTimeout(p *Proc, d Duration) bool {
+	if t.fired {
+		return true
+	}
+	// Wake the waiter on whichever happens first: the trigger firing or
+	// the deadline. The private wake trigger absorbs both.
+	wake := &Trigger{eng: t.eng}
+	t.onFire(func() { wake.Fire() })
+	t.eng.Schedule(d, func() { wake.Fire() })
+	wake.Wait(p)
+	return t.fired
+}
+
+// onFire registers a callback to run when the trigger fires (immediately if
+// it already has).
+func (t *Trigger) onFire(fn func()) {
+	if t.fired {
+		fn()
+		return
+	}
+	t.callbacks = append(t.callbacks, fn)
+}

@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Chart renders x/y series as an ASCII line chart, so the benchmark
+// harness can draw the paper's throughput-versus-MPL curves directly in a
+// terminal. Series are plotted with distinct markers and a shared y scale.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot columns (default 64)
+	Height int // plot rows (default 16)
+
+	series []chartSeries
+}
+
+type chartSeries struct {
+	name   string
+	marker byte
+	xs     []float64
+	ys     []float64
+}
+
+// chartMarkers are assigned to series in order.
+var chartMarkers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// NewChart creates an empty chart.
+func NewChart(title, xlabel, ylabel string) *Chart {
+	return &Chart{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// AddSeries appends one named series; xs and ys must have equal lengths.
+func (c *Chart) AddSeries(name string, xs, ys []float64) {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: series %s has %d xs, %d ys", name, len(xs), len(ys)))
+	}
+	marker := chartMarkers[len(c.series)%len(chartMarkers)]
+	c.series = append(c.series, chartSeries{
+		name: name, marker: marker,
+		xs: append([]float64(nil), xs...),
+		ys: append([]float64(nil), ys...),
+	})
+}
+
+// String renders the chart.
+func (c *Chart) String() string {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 16
+	}
+	var xmin, xmax, ymax float64
+	first := true
+	for _, s := range c.series {
+		for i := range s.xs {
+			if first {
+				xmin, xmax = s.xs[i], s.xs[i]
+				first = false
+			}
+			xmin = math.Min(xmin, s.xs[i])
+			xmax = math.Max(xmax, s.xs[i])
+			ymax = math.Max(ymax, s.ys[i])
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title)
+		b.WriteByte('\n')
+	}
+	if first || ymax == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(x, y float64, marker byte) {
+		col := int((x - xmin) / (xmax - xmin) * float64(width-1))
+		row := height - 1 - int(y/ymax*float64(height-1))
+		if col < 0 || col >= width || row < 0 || row >= height {
+			return
+		}
+		if grid[row][col] != ' ' && grid[row][col] != marker {
+			grid[row][col] = '&' // overlapping series
+			return
+		}
+		grid[row][col] = marker
+	}
+	for _, s := range c.series {
+		// Connect consecutive points with interpolated markers so the
+		// curve shape reads even with few samples.
+		order := make([]int, len(s.xs))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, bIdx int) bool { return s.xs[order[a]] < s.xs[order[bIdx]] })
+		for k := 0; k < len(order); k++ {
+			i := order[k]
+			plot(s.xs[i], s.ys[i], s.marker)
+			if k+1 < len(order) {
+				j := order[k+1]
+				steps := int((s.xs[j] - s.xs[i]) / (xmax - xmin) * float64(width))
+				for t := 1; t < steps; t++ {
+					f := float64(t) / float64(steps)
+					plot(s.xs[i]+f*(s.xs[j]-s.xs[i]), s.ys[i]+f*(s.ys[j]-s.ys[i]), s.marker)
+				}
+			}
+		}
+	}
+
+	yw := len(fmt.Sprintf("%.0f", ymax))
+	for r := 0; r < height; r++ {
+		if r == 0 {
+			fmt.Fprintf(&b, "%*.0f |", yw, ymax)
+		} else if r == height-1 {
+			fmt.Fprintf(&b, "%*.0f |", yw, 0.0)
+		} else if r == height/2 {
+			fmt.Fprintf(&b, "%*.0f |", yw, ymax/2)
+		} else {
+			fmt.Fprintf(&b, "%s |", strings.Repeat(" ", yw))
+		}
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", yw), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*.0f%*.0f  (%s)\n", strings.Repeat(" ", yw),
+		width/2, xmin, width/2, xmax, c.XLabel)
+	var legend []string
+	for _, s := range c.series {
+		legend = append(legend, fmt.Sprintf("%c %s", s.marker, s.name))
+	}
+	fmt.Fprintf(&b, "%s  %s   [%s]\n", strings.Repeat(" ", yw), c.YLabel,
+		strings.Join(legend, "   "))
+	return b.String()
+}

@@ -1,0 +1,247 @@
+// Package stats provides the measurement machinery for the simulation study:
+// streaming accumulators for observational data (query response times,
+// processors used per query), time-weighted accumulators for state variables
+// (queue lengths, utilization), throughput windows, and batch-means
+// confidence intervals. It also renders the fixed-width tables and CSV the
+// benchmark harness prints for each figure of the paper.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator collects observational samples with Welford's online algorithm,
+// which is numerically stable for long runs.
+type Accumulator struct {
+	n        int64
+	mean     float64
+	m2       float64
+	min, max float64
+}
+
+// Add records one observation.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N reports the number of observations.
+func (a *Accumulator) N() int64 { return a.n }
+
+// Mean reports the sample mean (0 if empty).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance reports the unbiased sample variance (0 if fewer than 2 samples).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev reports the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// Min reports the smallest observation (0 if empty).
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max reports the largest observation (0 if empty).
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Sum reports the sum of all observations.
+func (a *Accumulator) Sum() float64 { return a.mean * float64(a.n) }
+
+// Reset discards all observations.
+func (a *Accumulator) Reset() { *a = Accumulator{} }
+
+// Merge folds another accumulator's observations into a. Merge uses the
+// parallel-variance formula, so merging preserves mean and variance exactly
+// (up to floating-point error).
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	n := a.n + b.n
+	d := b.mean - a.mean
+	a.m2 += b.m2 + d*d*float64(a.n)*float64(b.n)/float64(n)
+	a.mean += d * float64(b.n) / float64(n)
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+	a.n = n
+}
+
+// String summarizes the accumulator for traces.
+func (a *Accumulator) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g",
+		a.n, a.Mean(), a.StdDev(), a.min, a.max)
+}
+
+// TimeWeighted tracks the time average of a piecewise-constant state
+// variable, e.g. the number of busy processors or a queue length. Times are
+// caller-defined (the simulator passes nanoseconds).
+type TimeWeighted struct {
+	started bool
+	lastT   float64
+	lastV   float64
+	area    float64
+	total   float64
+	max     float64
+	originT float64
+}
+
+// Set records that the variable changed to v at time t. The first call
+// establishes the origin.
+func (w *TimeWeighted) Set(t, v float64) {
+	if !w.started {
+		w.started = true
+		w.originT = t
+	} else {
+		dt := t - w.lastT
+		w.area += w.lastV * dt
+		w.total += dt
+	}
+	w.lastT = t
+	w.lastV = v
+	if v > w.max {
+		w.max = v
+	}
+}
+
+// Adjust shifts the variable by delta at time t (convenience for counters).
+func (w *TimeWeighted) Adjust(t, delta float64) { w.Set(t, w.lastV+delta) }
+
+// Value reports the current value of the variable.
+func (w *TimeWeighted) Value() float64 { return w.lastV }
+
+// Mean reports the time average over [origin, t].
+func (w *TimeWeighted) Mean(t float64) float64 {
+	area, total := w.area, w.total
+	if w.started && t > w.lastT {
+		area += w.lastV * (t - w.lastT)
+		total += t - w.lastT
+	}
+	if total == 0 {
+		return w.lastV
+	}
+	return area / total
+}
+
+// Max reports the largest value ever set.
+func (w *TimeWeighted) Max() float64 { return w.max }
+
+// ResetAt restarts the averaging window at time t, keeping the current value.
+// Used to discard the warm-up transient.
+func (w *TimeWeighted) ResetAt(t float64) {
+	v := w.lastV
+	*w = TimeWeighted{}
+	w.Set(t, v)
+}
+
+// BatchMeans estimates a confidence interval for the mean of a (possibly
+// autocorrelated) series by splitting it into batches, a standard technique
+// for steady-state simulation output analysis.
+type BatchMeans struct {
+	samples []float64
+}
+
+// Add appends one observation.
+func (b *BatchMeans) Add(x float64) { b.samples = append(b.samples, x) }
+
+// N reports the number of observations.
+func (b *BatchMeans) N() int { return len(b.samples) }
+
+// Interval returns the grand mean and the half-width of an approximate 95%
+// confidence interval using nbatch batches. It returns (mean, 0) when there
+// is too little data for an interval.
+func (b *BatchMeans) Interval(nbatch int) (mean, halfWidth float64) {
+	n := len(b.samples)
+	if n == 0 {
+		return 0, 0
+	}
+	var grand Accumulator
+	for _, x := range b.samples {
+		grand.Add(x)
+	}
+	if nbatch < 2 || n < 2*nbatch {
+		return grand.Mean(), 0
+	}
+	per := n / nbatch
+	var batch Accumulator
+	for i := 0; i < nbatch; i++ {
+		var m Accumulator
+		for j := i * per; j < (i+1)*per; j++ {
+			m.Add(b.samples[j])
+		}
+		batch.Add(m.Mean())
+	}
+	// t-quantile for 95% two-sided with nbatch-1 degrees of freedom.
+	t := tQuantile95(nbatch - 1)
+	return batch.Mean(), t * batch.StdDev() / math.Sqrt(float64(nbatch))
+}
+
+// tQuantile95 returns the 0.975 quantile of Student's t distribution for
+// small degrees of freedom (table lookup; converges to the normal 1.96).
+func tQuantile95(df int) float64 {
+	table := []float64{0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+		2.306, 2.262, 2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+		2.110, 2.101, 2.093, 2.086}
+	if df <= 0 {
+		return math.Inf(1)
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	switch {
+	case df < 30:
+		return 2.05
+	case df < 60:
+		return 2.00
+	default:
+		return 1.96
+	}
+}
+
+// Percentile returns the p-th percentile (0..100) of the recorded samples by
+// sorting a copy; intended for end-of-run reporting, not hot paths.
+func (b *BatchMeans) Percentile(p float64) float64 {
+	if len(b.samples) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), b.samples...)
+	sort.Float64s(c)
+	if p <= 0 {
+		return c[0]
+	}
+	if p >= 100 {
+		return c[len(c)-1]
+	}
+	rank := p / 100 * float64(len(c)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(c) {
+		return c[len(c)-1]
+	}
+	return c[lo]*(1-frac) + c[lo+1]*frac
+}

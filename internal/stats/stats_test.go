@@ -1,0 +1,293 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if !almost(a.Mean(), 5, 1e-12) {
+		t.Fatalf("mean = %g", a.Mean())
+	}
+	// Population variance is 4; sample variance = 32/7.
+	if !almost(a.Variance(), 32.0/7.0, 1e-12) {
+		t.Fatalf("variance = %g", a.Variance())
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("min/max = %g/%g", a.Min(), a.Max())
+	}
+	if !almost(a.Sum(), 40, 1e-9) {
+		t.Fatalf("sum = %g", a.Sum())
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Variance() != 0 || a.StdDev() != 0 || a.N() != 0 {
+		t.Fatal("empty accumulator should report zeros")
+	}
+}
+
+func TestAccumulatorSingle(t *testing.T) {
+	var a Accumulator
+	a.Add(3.5)
+	if a.Variance() != 0 {
+		t.Fatalf("variance of single sample = %g", a.Variance())
+	}
+	if a.Min() != 3.5 || a.Max() != 3.5 {
+		t.Fatal("min/max of single sample wrong")
+	}
+}
+
+func TestAccumulatorReset(t *testing.T) {
+	var a Accumulator
+	a.Add(1)
+	a.Add(2)
+	a.Reset()
+	if a.N() != 0 || a.Mean() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+// Property: merging two accumulators equals accumulating the concatenation.
+func TestAccumulatorMergeProperty(t *testing.T) {
+	check := func(xs, ys []float64) bool {
+		clean := func(in []float64) []float64 {
+			out := in[:0]
+			for _, v := range in {
+				if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e6 {
+					out = append(out, v)
+				}
+			}
+			return out
+		}
+		xs, ys = clean(xs), clean(ys)
+		var a, b, all Accumulator
+		for _, x := range xs {
+			a.Add(x)
+			all.Add(x)
+		}
+		for _, y := range ys {
+			b.Add(y)
+			all.Add(y)
+		}
+		a.Merge(&b)
+		if a.N() != all.N() {
+			return false
+		}
+		if all.N() == 0 {
+			return true
+		}
+		scale := 1 + math.Abs(all.Mean())
+		return almost(a.Mean(), all.Mean(), 1e-9*scale) &&
+			almost(a.Variance(), all.Variance(), 1e-6*(1+all.Variance())) &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccumulatorMergeEmptySides(t *testing.T) {
+	var a, b Accumulator
+	b.Add(4)
+	a.Merge(&b) // empty <- nonempty
+	if a.N() != 1 || a.Mean() != 4 {
+		t.Fatal("merge into empty failed")
+	}
+	var c Accumulator
+	a.Merge(&c) // nonempty <- empty
+	if a.N() != 1 || a.Mean() != 4 {
+		t.Fatal("merge of empty changed state")
+	}
+}
+
+func TestTimeWeightedMean(t *testing.T) {
+	var w TimeWeighted
+	w.Set(0, 2)  // value 2 during [0,10)
+	w.Set(10, 6) // value 6 during [10,20)
+	if got := w.Mean(20); !almost(got, 4, 1e-12) {
+		t.Fatalf("time-weighted mean = %g, want 4", got)
+	}
+	if w.Max() != 6 {
+		t.Fatalf("max = %g", w.Max())
+	}
+	if w.Value() != 6 {
+		t.Fatalf("value = %g", w.Value())
+	}
+}
+
+func TestTimeWeightedAdjust(t *testing.T) {
+	var w TimeWeighted
+	w.Set(0, 0)
+	w.Adjust(5, +3) // 0 in [0,5), 3 in [5,10)
+	if got := w.Mean(10); !almost(got, 1.5, 1e-12) {
+		t.Fatalf("mean = %g, want 1.5", got)
+	}
+}
+
+func TestTimeWeightedResetAt(t *testing.T) {
+	var w TimeWeighted
+	w.Set(0, 100) // transient
+	w.Set(10, 2)
+	w.ResetAt(10)
+	w.Set(20, 4)
+	if got := w.Mean(30); !almost(got, 3, 1e-12) {
+		t.Fatalf("post-reset mean = %g, want 3", got)
+	}
+}
+
+func TestTimeWeightedNoElapsedTime(t *testing.T) {
+	var w TimeWeighted
+	w.Set(5, 7)
+	if got := w.Mean(5); got != 7 {
+		t.Fatalf("zero-duration mean = %g, want current value 7", got)
+	}
+}
+
+func TestBatchMeansInterval(t *testing.T) {
+	var b BatchMeans
+	for i := 0; i < 1000; i++ {
+		b.Add(10 + float64(i%7)) // mean 13, deterministic
+	}
+	mean, hw := b.Interval(10)
+	if !almost(mean, 13, 0.05) {
+		t.Fatalf("mean = %g", mean)
+	}
+	if hw < 0 || hw > 1 {
+		t.Fatalf("half-width = %g out of plausible range", hw)
+	}
+}
+
+func TestBatchMeansTooFewSamples(t *testing.T) {
+	var b BatchMeans
+	b.Add(5)
+	mean, hw := b.Interval(10)
+	if mean != 5 || hw != 0 {
+		t.Fatalf("degenerate interval = (%g, %g)", mean, hw)
+	}
+	var empty BatchMeans
+	if m, h := empty.Interval(10); m != 0 || h != 0 {
+		t.Fatal("empty interval should be (0,0)")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var b BatchMeans
+	for i := 1; i <= 100; i++ {
+		b.Add(float64(i))
+	}
+	if got := b.Percentile(50); !almost(got, 50.5, 1e-9) {
+		t.Fatalf("p50 = %g", got)
+	}
+	if got := b.Percentile(0); got != 1 {
+		t.Fatalf("p0 = %g", got)
+	}
+	if got := b.Percentile(100); got != 100 {
+		t.Fatalf("p100 = %g", got)
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	var b BatchMeans
+	if b.Percentile(50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}
+
+func TestTQuantileMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for df := 1; df <= 200; df++ {
+		q := tQuantile95(df)
+		if q > prev {
+			t.Fatalf("t quantile not non-increasing at df=%d: %g > %g", df, q, prev)
+		}
+		prev = q
+	}
+	if !almost(tQuantile95(1000), 1.96, 1e-9) {
+		t.Fatal("large-df quantile should be 1.96")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Fig 8a", "MPL", "MAGIC", "BERD", "Range")
+	tb.AddRow(1, 12.5, 11.0, 9.25)
+	tb.AddRow(64, 100.125, 90.0, "n/a")
+	s := tb.String()
+	if !strings.Contains(s, "Fig 8a") || !strings.Contains(s, "MAGIC") {
+		t.Fatalf("missing title/header:\n%s", s)
+	}
+	if !strings.Contains(s, "12.5") || !strings.Contains(s, "n/a") {
+		t.Fatalf("missing cells:\n%s", s)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("x,y", `He said "hi"`)
+	csv := tb.CSV()
+	want := "a,b\n\"x,y\",\"He said \"\"hi\"\"\"\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	c := NewChart("Figure 8a", "MPL", "q/s")
+	c.AddSeries("magic", []float64{1, 8, 32, 64}, []float64{28, 196, 468, 601})
+	c.AddSeries("range", []float64{1, 8, 32, 64}, []float64{22, 152, 342, 418})
+	s := c.String()
+	for _, want := range []string{"Figure 8a", "MPL", "q/s", "* magic", "o range", "601"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("chart missing %q:\n%s", want, s)
+		}
+	}
+	// Top row must contain the highest series' marker somewhere.
+	lines := strings.Split(s, "\n")
+	if !strings.Contains(lines[1], "*") {
+		t.Fatalf("max point not on top row:\n%s", s)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := NewChart("empty", "x", "y")
+	if !strings.Contains(c.String(), "no data") {
+		t.Fatal("empty chart should say so")
+	}
+	c.AddSeries("zeros", []float64{1, 2}, []float64{0, 0})
+	if !strings.Contains(c.String(), "no data") {
+		t.Fatal("all-zero chart should say so")
+	}
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	c := NewChart("one", "x", "y")
+	c.AddSeries("s", []float64{5}, []float64{10})
+	s := c.String()
+	if !strings.Contains(s, "*") {
+		t.Fatalf("single point not plotted:\n%s", s)
+	}
+}
+
+func TestChartMismatchedSeriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched series did not panic")
+		}
+	}()
+	NewChart("t", "x", "y").AddSeries("bad", []float64{1}, []float64{1, 2})
+}

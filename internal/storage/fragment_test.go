@@ -1,0 +1,284 @@
+package storage
+
+import (
+	"testing"
+)
+
+func smallLayout() Layout { return Layout{TuplesPerPage: 4, IndexFanout: 4, IndexLeafCap: 4} }
+
+// buildTestFragment creates a fragment over tuples with unique2 = 0..n-1 and
+// unique1 a fixed scrambled permutation, clustered on unique2, indexed on
+// both attributes.
+func buildTestFragment(t *testing.T, n int) (*Fragment, *Allocator) {
+	t.Helper()
+	r := GenerateWisconsin(GenSpec{Cardinality: n, Seed: 5})
+	alloc := NewAllocator(10000)
+	f := BuildFragment(3, r.Tuples, Unique2, smallLayout(), alloc)
+	f.AddIndex(Unique2, alloc)
+	f.AddIndex(Unique1, alloc)
+	return f, alloc
+}
+
+func TestFragmentLayoutContiguous(t *testing.T) {
+	f, alloc := buildTestFragment(t, 100)
+	if f.NumTuples() != 100 {
+		t.Fatalf("tuples = %d", f.NumTuples())
+	}
+	if f.NumDataPages() != 25 { // 100/4
+		t.Fatalf("data pages = %d", f.NumDataPages())
+	}
+	if f.DataPageOfSlot(0) != 0 || f.DataPageOfSlot(4) != 1 || f.DataPageOfSlot(99) != 24 {
+		t.Fatal("slot->page mapping wrong")
+	}
+	if alloc.Used() <= 25 {
+		t.Fatal("index pages not allocated after data pages")
+	}
+}
+
+func TestSearchClusteredRange(t *testing.T) {
+	f, _ := buildTestFragment(t, 100)
+	acc := f.SearchClustered(10, 19)
+	if len(acc.Tuples) != 10 {
+		t.Fatalf("matched %d tuples", len(acc.Tuples))
+	}
+	for i, tup := range acc.Tuples {
+		if tup.Attrs[Unique2] != int64(10+i) {
+			t.Fatalf("tuple %d has unique2=%d", i, tup.Attrs[Unique2])
+		}
+	}
+	// Slots 10..19 span pages 2,3,4 contiguously, no repeats.
+	want := []int{2, 3, 4}
+	if len(acc.DataPages) != len(want) {
+		t.Fatalf("data pages = %v", acc.DataPages)
+	}
+	for i := range want {
+		if acc.DataPages[i] != want[i] {
+			t.Fatalf("data pages = %v, want %v", acc.DataPages, want)
+		}
+	}
+	if len(acc.IndexPages) == 0 {
+		t.Fatal("clustered search must touch index pages")
+	}
+}
+
+func TestSearchClusteredEmptyRange(t *testing.T) {
+	f, _ := buildTestFragment(t, 100)
+	acc := f.SearchClustered(5000, 6000)
+	if len(acc.Tuples) != 0 || len(acc.DataPages) != 0 {
+		t.Fatal("out-of-range search returned tuples")
+	}
+	if len(acc.IndexPages) == 0 {
+		t.Fatal("even a miss descends the index")
+	}
+}
+
+func TestSearchNonClusteredFetchesPerTuple(t *testing.T) {
+	f, _ := buildTestFragment(t, 100)
+	acc := f.SearchNonClustered(Unique1, 0, 9)
+	if len(acc.Tuples) != 10 {
+		t.Fatalf("matched %d tuples", len(acc.Tuples))
+	}
+	if len(acc.DataPages) != 10 {
+		t.Fatalf("non-clustered access should fetch one page per tuple, got %d", len(acc.DataPages))
+	}
+	for i, tup := range acc.Tuples {
+		if tup.Attrs[Unique1] != int64(i) {
+			t.Fatalf("tuples not in index order: %v", tup.Attrs[Unique1])
+		}
+	}
+}
+
+func TestSearchNonClusteredSingleTuple(t *testing.T) {
+	f, _ := buildTestFragment(t, 100)
+	acc := f.SearchNonClustered(Unique1, 42, 42)
+	if len(acc.Tuples) != 1 || acc.Tuples[0].Attrs[Unique1] != 42 {
+		t.Fatalf("equality search returned %v", acc.Tuples)
+	}
+}
+
+func TestFetchTIDs(t *testing.T) {
+	f, _ := buildTestFragment(t, 100)
+	acc := f.FetchTIDs([]int64{5, 50, 95})
+	if len(acc.Tuples) != 3 || len(acc.DataPages) != 3 {
+		t.Fatalf("fetched %d tuples, %d pages", len(acc.Tuples), len(acc.DataPages))
+	}
+	if len(acc.IndexPages) != 0 {
+		t.Fatal("TID fetch must not touch indexes")
+	}
+	for i, want := range []int64{5, 50, 95} {
+		if acc.Tuples[i].TID != want {
+			t.Fatalf("tuple %d TID = %d", i, acc.Tuples[i].TID)
+		}
+	}
+}
+
+func TestFetchForeignTIDPanics(t *testing.T) {
+	f, _ := buildTestFragment(t, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign TID did not panic")
+		}
+	}()
+	f.FetchTIDs([]int64{9999})
+}
+
+func TestHasTID(t *testing.T) {
+	f, _ := buildTestFragment(t, 10)
+	if !f.HasTID(3) || f.HasTID(100) {
+		t.Fatal("HasTID wrong")
+	}
+}
+
+func TestEmptyFragment(t *testing.T) {
+	alloc := NewAllocator(100)
+	f := BuildFragment(0, nil, Unique2, smallLayout(), alloc)
+	f.AddIndex(Unique2, alloc)
+	if f.NumTuples() != 0 || f.NumDataPages() != 0 {
+		t.Fatal("empty fragment has tuples/pages")
+	}
+	acc := f.SearchClustered(0, 10)
+	if len(acc.Tuples) != 0 {
+		t.Fatal("empty fragment returned tuples")
+	}
+}
+
+func TestDuplicateIndexPanics(t *testing.T) {
+	f, alloc := buildTestFragment(t, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate index did not panic")
+		}
+	}()
+	f.AddIndex(Unique1, alloc)
+}
+
+func TestMissingIndexPanics(t *testing.T) {
+	alloc := NewAllocator(100)
+	f := BuildFragment(0, nil, Unique2, smallLayout(), alloc)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missing index did not panic")
+		}
+	}()
+	f.SearchClustered(0, 1)
+}
+
+func TestAllocatorRuns(t *testing.T) {
+	a := NewAllocator(10)
+	if start := a.AllocRun(4); start != 0 {
+		t.Fatalf("run start = %d", start)
+	}
+	if p := a.Alloc(); p != 4 {
+		t.Fatalf("next page = %d", p)
+	}
+	if a.Used() != 5 {
+		t.Fatalf("used = %d", a.Used())
+	}
+}
+
+func TestAllocatorExhaustionPanics(t *testing.T) {
+	a := NewAllocator(2)
+	a.AllocRun(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exhausted allocator did not panic")
+		}
+	}()
+	a.Alloc()
+}
+
+func TestAuxFragmentLookup(t *testing.T) {
+	alloc := NewAllocator(1000)
+	entries := []AuxEntry{
+		{Value: 10, TID: 100, Proc: 1},
+		{Value: 20, TID: 200, Proc: 2},
+		{Value: 30, TID: 300, Proc: 3},
+		{Value: 25, TID: 250, Proc: 2},
+	}
+	aux := BuildAux(7, entries, smallLayout(), alloc)
+	if aux.Entries != 4 {
+		t.Fatalf("entries = %d", aux.Entries)
+	}
+	procs, tids, pages := aux.Lookup(15, 27)
+	if len(procs) != 2 || procs[0] != 2 || procs[1] != 2 {
+		t.Fatalf("procs = %v", procs)
+	}
+	if len(tids) != 2 || tids[0] != 200 || tids[1] != 250 {
+		t.Fatalf("tids = %v", tids)
+	}
+	if len(pages) == 0 {
+		t.Fatal("lookup touched no pages")
+	}
+}
+
+func TestAuxPackRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		proc int
+		tid  int64
+	}{{0, 0}, {31, 99999}, {65535, 1<<47 - 1}} {
+		p, tid := unpackAux(packAux(tc.proc, tc.tid))
+		if p != tc.proc || tid != tc.tid {
+			t.Fatalf("round trip (%d,%d) -> (%d,%d)", tc.proc, tc.tid, p, tid)
+		}
+	}
+}
+
+func TestAuxPackRejectsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversize proc did not panic")
+		}
+	}()
+	packAux(1<<16, 0)
+}
+
+func TestFragmentSortsByClusteredAttr(t *testing.T) {
+	// Feed tuples in reverse order; fragment must sort by unique2.
+	r := GenerateWisconsin(GenSpec{Cardinality: 50, Seed: 2})
+	rev := make([]Tuple, 50)
+	for i := range rev {
+		rev[i] = r.Tuples[49-i]
+	}
+	alloc := NewAllocator(1000)
+	f := BuildFragment(0, rev, Unique2, smallLayout(), alloc)
+	for i := 1; i < f.NumTuples(); i++ {
+		if f.Tuples[i-1].Attrs[Unique2] > f.Tuples[i].Attrs[Unique2] {
+			t.Fatal("fragment not sorted by clustered attribute")
+		}
+	}
+}
+
+func TestScan(t *testing.T) {
+	f, _ := buildTestFragment(t, 100)
+	acc := f.Scan(Ten, 3, 3)
+	if len(acc.DataPages) != f.NumDataPages() {
+		t.Fatalf("scan touched %d pages, want all %d", len(acc.DataPages), f.NumDataPages())
+	}
+	want := 0
+	for _, tup := range f.Tuples {
+		if tup.Attrs[Ten] == 3 {
+			want++
+		}
+	}
+	if len(acc.Tuples) != want {
+		t.Fatalf("scan matched %d tuples, want %d", len(acc.Tuples), want)
+	}
+	if len(acc.IndexPages) != 0 {
+		t.Fatal("scan must not touch indexes")
+	}
+	// Pages must be sequential for the disk's sequential-access detection.
+	for i := 1; i < len(acc.DataPages); i++ {
+		if acc.DataPages[i] != acc.DataPages[i-1]+1 {
+			t.Fatal("scan pages not sequential")
+		}
+	}
+}
+
+func TestScanEmptyFragment(t *testing.T) {
+	alloc := NewAllocator(100)
+	f := BuildFragment(0, nil, Unique2, smallLayout(), alloc)
+	acc := f.Scan(Ten, 0, 9)
+	if len(acc.Tuples) != 0 || len(acc.DataPages) != 0 {
+		t.Fatal("empty fragment scan returned something")
+	}
+}
