@@ -17,6 +17,8 @@ package repro
 import (
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 	"testing"
 
 	"repro/internal/core"
@@ -35,8 +37,21 @@ func benchOptions() experiments.Options {
 	return experiments.QuickScale()
 }
 
-// benchFigure runs one figure per b.N iteration and reports the throughput
-// of each strategy at the top multiprogramming level.
+// benchWorkers sizes the harness worker pool for benchmark runs: the
+// REPRO_WORKERS environment variable, defaulting to GOMAXPROCS. Results do
+// not depend on the worker count — only wall clock does.
+func benchWorkers() int {
+	if s := os.Getenv("REPRO_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// benchFigure runs one figure per b.N iteration — its (strategy, MPL) jobs
+// spread over the harness worker pool — and reports the throughput of each
+// strategy at the top multiprogramming level.
 func benchFigure(b *testing.B, id string) {
 	b.Helper()
 	fig, err := experiments.FigureByID(id)
@@ -44,13 +59,15 @@ func benchFigure(b *testing.B, id string) {
 		b.Fatal(err)
 	}
 	opts := benchOptions()
+	copts := experiments.CampaignOptions{Workers: benchWorkers()}
 	var last experiments.FigureResult
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		last, err = experiments.Run(fig, opts)
+		campaign, err := experiments.RunCampaign([]experiments.Figure{fig}, opts, copts)
 		if err != nil {
 			b.Fatal(err)
 		}
+		last = campaign.Figures[0]
 	}
 	b.StopTimer()
 	top := opts.MPLs[len(opts.MPLs)-1]
@@ -238,18 +255,38 @@ func BenchmarkPlanSensitivity(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaign runs every figure of the evaluation section as one
+// concurrent campaign and reports the harness's measured speedup versus
+// back-to-back job execution — the wall-clock win of regenerating the whole
+// evaluation on a multi-core host.
+func BenchmarkCampaign(b *testing.B) {
+	opts := benchOptions()
+	copts := experiments.CampaignOptions{Workers: benchWorkers()}
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		campaign, err := experiments.RunCampaign(experiments.Figures(), opts, copts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = campaign.Manifest.Speedup
+	}
+	b.ReportMetric(float64(benchWorkers()), "workers")
+	b.ReportMetric(speedup, "speedup")
+}
+
 // BenchmarkScaleOut sweeps the machine size at constant per-processor load
 // (MPL = 2P) and reports each strategy's throughput at the largest size.
 func BenchmarkScaleOut(b *testing.B) {
 	opts := benchOptions()
 	sweep := experiments.DefaultScaleSweep()
+	copts := experiments.CampaignOptions{Workers: benchWorkers()}
 	var last experiments.ScaleResult
-	var err error
 	for i := 0; i < b.N; i++ {
-		last, err = experiments.RunScaleSweep(sweep, opts)
+		res, _, err := experiments.RunScaleSweepParallel(sweep, opts, copts)
 		if err != nil {
 			b.Fatal(err)
 		}
+		last = res
 	}
 	top := sweep.Processors[len(sweep.Processors)-1]
 	for _, s := range sweep.Strategies {

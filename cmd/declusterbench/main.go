@@ -2,7 +2,8 @@
 // each figure of Section 7 it sweeps the multiprogramming level over the
 // MAGIC, BERD and range declustering strategies on the simulated Gamma
 // machine and prints the throughput series (and, with -detail, per-point
-// diagnostics).
+// diagnostics). The (figure, strategy, MPL) runs execute concurrently on a
+// bounded worker pool; results are identical whatever the worker count.
 //
 // Usage:
 //
@@ -15,102 +16,135 @@
 //	-mpl 1,8,64      override the MPL sweep
 //	-measure N       override queries measured per point
 //	-warmup N        override warm-up queries per point
-//	-seed N          experiment seed
+//	-seed N          experiment seed (default 1; an explicit -seed 0 is honored)
+//	-parallel N      worker pool size (default 0 = GOMAXPROCS; results
+//	                 do not depend on N)
+//	-timeout D       wall-clock budget per (strategy, MPL) run, e.g. 10m
+//	-manifest FILE   write the run manifest (per-job wall times, worker
+//	                 count, speedup, failure records) as JSON
 //	-detail          print per-point diagnostics
 //	-csv             emit CSV instead of aligned tables
+//
+// Exit status is non-zero when any simulation job fails or when -compare
+// finds throughput drifts beyond the tolerance, so both can gate CI.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/harness"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
-		figList   = flag.String("fig", "", "comma-separated figure ids (default: all)")
-		scale     = flag.String("scale", "paper", `"paper" or "quick"`)
-		card      = flag.Int("card", 0, "relation cardinality override")
-		procs     = flag.Int("procs", 0, "processor count override")
-		mplList   = flag.String("mpl", "", "comma-separated MPL sweep override")
-		measure   = flag.Int("measure", 0, "measured queries per point override")
-		warmup    = flag.Int("warmup", 0, "warm-up queries per point override")
-		seed      = flag.Int64("seed", 0, "experiment seed override")
-		detail    = flag.Bool("detail", false, "print per-point diagnostics")
-		plot      = flag.Bool("plot", false, "draw each figure as an ASCII chart")
-		jsonOut   = flag.String("json", "", "write results to a JSON archive")
-		compare   = flag.String("compare", "", "compare against a previous JSON archive")
-		tolerance = flag.Float64("tolerance", 0.05, "relative drift threshold for -compare")
-		csv       = flag.Bool("csv", false, "emit CSV")
-		scaleout  = flag.Bool("scaleout", false, "run the machine-size sweep too")
+		figList     = flag.String("fig", "", "comma-separated figure ids (default: all)")
+		scale       = flag.String("scale", "paper", `"paper" or "quick"`)
+		card        = flag.Int("card", 0, "relation cardinality override")
+		procs       = flag.Int("procs", 0, "processor count override")
+		mplList     = flag.String("mpl", "", "comma-separated MPL sweep override")
+		measure     = flag.Int("measure", 0, "measured queries per point override")
+		warmup      = flag.Int("warmup", 0, "warm-up queries per point override")
+		seed        = flag.Int64("seed", 0, "experiment seed override (0 is a valid seed when given explicitly)")
+		parallel    = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
+		timeout     = flag.Duration("timeout", 0, "wall-clock budget per (strategy, MPL) run (0 = none)")
+		manifestOut = flag.String("manifest", "", "write the JSON run manifest to this file")
+		detail      = flag.Bool("detail", false, "print per-point diagnostics")
+		plot        = flag.Bool("plot", false, "draw each figure as an ASCII chart")
+		jsonOut     = flag.String("json", "", "write results to a JSON archive")
+		compare     = flag.String("compare", "", "compare against a previous JSON archive")
+		tolerance   = flag.Float64("tolerance", 0.05, "relative drift threshold for -compare")
+		csv         = flag.Bool("csv", false, "emit CSV")
+		scaleout    = flag.Bool("scaleout", false, "run the machine-size sweep too")
 	)
 	flag.Parse()
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
 
-	opts, err := buildOptions(*scale, *card, *procs, *mplList, *measure, *warmup, *seed)
+	opts, err := buildOptions(*scale, *card, *procs, *mplList, *measure, *warmup, *seed, seedSet)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	figs, err := selectFigures(*figList)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
+	exit := 0
 	archive := experiments.Archive{Label: "declusterbench", Options: opts}
-	for _, fig := range figs {
-		fmt.Fprintf(os.Stderr, "running figure %s (%s)...\n", fig.ID, fig.Title)
-		res, err := experiments.Run(fig, opts)
+	var manifests []harness.Manifest
+
+	if len(figs) > 0 {
+		fmt.Fprintf(os.Stderr, "running %d figures on %d workers...\n", len(figs), workersFor(*parallel))
+		campaign, err := experiments.RunCampaign(figs, opts, experiments.CampaignOptions{
+			Workers:    *parallel,
+			JobTimeout: *timeout,
+			Progress:   os.Stderr,
+			Label:      "figures",
+		})
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(os.Stderr, "declusterbench:", err)
+			exit = 1
 		}
-		archive.Figures = append(archive.Figures, res.Archive())
-		if *csv {
-			fmt.Print(res.Table().CSV())
-		} else {
-			fmt.Println(res.Table().String())
-		}
-		for _, n := range res.Notes {
-			fmt.Printf("  %s\n", n)
-		}
-		if *plot {
-			fmt.Println()
-			fmt.Println(res.Chart().String())
-		}
-		if *detail {
+		manifests = append(manifests, campaign.Manifest)
+		for _, res := range campaign.Figures {
+			archive.Figures = append(archive.Figures, res.Archive())
 			if *csv {
-				fmt.Print(res.DetailTable().CSV())
+				fmt.Print(res.Table().CSV())
 			} else {
-				fmt.Println(res.DetailTable().String())
+				fmt.Println(res.Table().String())
 			}
+			for _, n := range res.Notes {
+				fmt.Printf("  %s\n", n)
+			}
+			if *plot {
+				fmt.Println()
+				fmt.Println(res.Chart().String())
+			}
+			if *detail {
+				if *csv {
+					fmt.Print(res.DetailTable().CSV())
+				} else {
+					fmt.Println(res.DetailTable().String())
+				}
+			}
+			fmt.Println()
 		}
-		fmt.Println()
 	}
 
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if err := experiments.WriteArchive(f, archive); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
 	}
 	if *compare != "" {
 		f, err := os.Open(*compare)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		baseline, err := experiments.ReadArchive(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		diffs := experiments.CompareArchives(baseline, archive, *tolerance)
 		if len(diffs) == 0 {
@@ -120,24 +154,58 @@ func main() {
 			for _, d := range diffs {
 				fmt.Println("  " + d)
 			}
+			exit = 1
 		}
 	}
 
 	if *scaleout {
 		fmt.Fprintln(os.Stderr, "running scale-out sweep...")
-		res, err := experiments.RunScaleSweep(experiments.DefaultScaleSweep(), opts)
+		res, manifest, err := experiments.RunScaleSweepParallel(
+			experiments.DefaultScaleSweep(), opts, experiments.CampaignOptions{
+				Workers:    *parallel,
+				JobTimeout: *timeout,
+				Progress:   os.Stderr,
+				Label:      "scaleout",
+			})
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(os.Stderr, "declusterbench:", err)
+			exit = 1
 		}
+		manifests = append(manifests, manifest)
 		if *csv {
 			fmt.Print(res.Table().CSV())
 		} else {
 			fmt.Println(res.Table().String())
 		}
 	}
+
+	if *manifestOut != "" && len(manifests) > 0 {
+		merged := harness.Merge("declusterbench", manifests...)
+		f, err := os.Create(*manifestOut)
+		if err != nil {
+			return fail(err)
+		}
+		if err := merged.Write(f); err != nil {
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d jobs, %d workers, %.2fx speedup vs serial)\n",
+			*manifestOut, merged.Jobs, merged.Workers, merged.Speedup)
+	}
+	return exit
 }
 
-func buildOptions(scale string, card, procs int, mplList string, measure, warmup int, seed int64) (experiments.Options, error) {
+// workersFor mirrors the harness default so the banner matches reality.
+func workersFor(parallel int) int {
+	if parallel > 0 {
+		return parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func buildOptions(scale string, card, procs int, mplList string, measure, warmup int, seed int64, seedSet bool) (experiments.Options, error) {
 	var opts experiments.Options
 	switch scale {
 	case "paper":
@@ -159,8 +227,9 @@ func buildOptions(scale string, card, procs int, mplList string, measure, warmup
 	if warmup > 0 {
 		opts.WarmupQueries = warmup
 	}
-	if seed != 0 {
+	if seedSet {
 		opts.Seed = seed
+		opts.SeedSet = true
 	}
 	if mplList != "" {
 		var mpls []int
@@ -194,7 +263,7 @@ func selectFigures(list string) ([]experiments.Figure, error) {
 	return out, nil
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "declusterbench:", err)
-	os.Exit(1)
+	return 1
 }

@@ -3,14 +3,17 @@ package main
 import "testing"
 
 func TestBuildOptions(t *testing.T) {
-	opts, err := buildOptions("quick", 0, 0, "", 0, 0, 0)
+	opts, err := buildOptions("quick", 0, 0, "", 0, 0, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if opts.Cardinality != 20000 {
 		t.Fatalf("quick cardinality = %d", opts.Cardinality)
 	}
-	opts, err = buildOptions("paper", 5000, 16, "1,4,8", 100, 10, 9)
+	if opts.Seed != 1 || opts.SeedSet {
+		t.Fatalf("default seed = %d (set=%v), want 1 (unset)", opts.Seed, opts.SeedSet)
+	}
+	opts, err = buildOptions("paper", 5000, 16, "1,4,8", 100, 10, 9, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,14 +26,26 @@ func TestBuildOptions(t *testing.T) {
 	}
 }
 
+// An explicit -seed 0 must survive as seed 0 instead of silently falling
+// back to the scale default.
+func TestBuildOptionsExplicitSeedZero(t *testing.T) {
+	opts, err := buildOptions("quick", 0, 0, "", 0, 0, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Seed != 0 || !opts.SeedSet {
+		t.Fatalf("explicit seed 0 became %d (set=%v)", opts.Seed, opts.SeedSet)
+	}
+}
+
 func TestBuildOptionsErrors(t *testing.T) {
-	if _, err := buildOptions("warp", 0, 0, "", 0, 0, 0); err == nil {
+	if _, err := buildOptions("warp", 0, 0, "", 0, 0, 0, false); err == nil {
 		t.Error("unknown scale accepted")
 	}
-	if _, err := buildOptions("quick", 0, 0, "1,zero", 0, 0, 0); err == nil {
+	if _, err := buildOptions("quick", 0, 0, "1,zero", 0, 0, 0, false); err == nil {
 		t.Error("bad MPL accepted")
 	}
-	if _, err := buildOptions("quick", 0, 0, "0", 0, 0, 0); err == nil {
+	if _, err := buildOptions("quick", 0, 0, "0", 0, 0, 0, false); err == nil {
 		t.Error("non-positive MPL accepted")
 	}
 }
@@ -53,5 +68,14 @@ func TestSelectFiguresNone(t *testing.T) {
 	figs, err := selectFigures("none")
 	if err != nil || len(figs) != 0 {
 		t.Fatalf("none: %v, %v", figs, err)
+	}
+}
+
+func TestWorkersFor(t *testing.T) {
+	if got := workersFor(8); got != 8 {
+		t.Fatalf("workersFor(8) = %d", got)
+	}
+	if got := workersFor(0); got < 1 {
+		t.Fatalf("workersFor(0) = %d", got)
 	}
 }

@@ -7,8 +7,10 @@
 // discrete-event simulation kernel (internal/sim), the Gamma machine model
 // (internal/hw, internal/gamma), the storage engine with B+-trees and a
 // grid file (internal/storage, internal/btree, internal/gridfile), the
-// Section 6 workload (internal/workload) and the per-figure experiments
-// (internal/experiments). The root package holds the benchmark harness
-// (bench_test.go) that regenerates every figure of the paper's evaluation;
-// see README.md, DESIGN.md and EXPERIMENTS.md.
+// Section 6 workload (internal/workload), the per-figure experiments
+// (internal/experiments) and the parallel campaign orchestrator that runs
+// them concurrently with deterministic output (internal/harness). The root
+// package holds the benchmark harness (bench_test.go) that regenerates
+// every figure of the paper's evaluation; see README.md, DESIGN.md and
+// EXPERIMENTS.md.
 package repro

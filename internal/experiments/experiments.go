@@ -113,8 +113,12 @@ type Options struct {
 	MPLs           []int
 	WarmupQueries  int
 	MeasureQueries int
-	Seed           int64
-	Config         *gamma.Config // overrides gamma.DefaultConfig if set
+	// Seed drives relation generation, machine randomness and workload
+	// sampling. A zero Seed falls back to the default (1) unless SeedSet
+	// marks it as explicitly chosen — seed 0 is a valid seed.
+	Seed    int64
+	SeedSet bool          `json:"SeedSet,omitempty"`
+	Config  *gamma.Config // overrides gamma.DefaultConfig if set
 }
 
 // PaperScale returns the full-scale options used for EXPERIMENTS.md.
@@ -158,7 +162,7 @@ func (o Options) withDefaults() Options {
 	if o.MeasureQueries <= 0 {
 		o.MeasureQueries = d.MeasureQueries
 	}
-	if o.Seed == 0 {
+	if o.Seed == 0 && !o.SeedSet {
 		o.Seed = d.Seed
 	}
 	return o
@@ -224,57 +228,16 @@ func ConfigFor(opts Options) gamma.Config {
 	return cfg
 }
 
-// Run executes the figure across its strategies and the MPL sweep.
+// Run executes the figure across its strategies and the MPL sweep. It is a
+// thin workers=1 campaign — RunCampaign with a single figure and a single
+// worker — so the serial path and the parallel path share one
+// implementation and stay byte-identical by construction.
 func Run(fig Figure, opts Options) (FigureResult, error) {
-	opts = opts.withDefaults()
-	var cfg gamma.Config
-	if opts.Config != nil {
-		cfg = *opts.Config
-		cfg.HW.NumProcessors = opts.Processors
-		cfg.Seed = opts.Seed
-	} else {
-		cfg = ConfigFor(opts)
+	c, err := RunCampaign([]Figure{fig}, opts, CampaignOptions{Workers: 1})
+	if len(c.Figures) == 1 {
+		return c.Figures[0], err
 	}
-
-	rel := storage.GenerateWisconsin(storage.GenSpec{
-		Cardinality:       opts.Cardinality,
-		CorrelationWindow: fig.Correlation.window(opts.Cardinality),
-		Seed:              opts.Seed,
-	})
-	mix := fig.Mix(opts.Cardinality)
-
-	out := FigureResult{Figure: fig, Options: opts}
-	for _, name := range fig.Strategies {
-		pl, err := BuildPlacement(name, rel, mix, opts)
-		if err != nil {
-			return out, fmt.Errorf("figure %s: %w", fig.ID, err)
-		}
-		if m, ok := pl.(*core.MAGICPlacement); ok {
-			dims := m.Dims()
-			plan := m.Plan()
-			out.Notes = append(out.Notes, fmt.Sprintf(
-				"magic: directory %v (%d entries, FC=%d, M=%.2f, Mi[A]=%.1f, Mi[B]=%.1f, %d rebalance swaps)",
-				dims, m.Grid().NumCells(), plan.FC, plan.M,
-				plan.Mi[storage.Unique1], plan.Mi[storage.Unique2], m.RebalanceSwaps()))
-		}
-		machine, err := gamma.Build(rel, pl, cfg)
-		if err != nil {
-			return out, fmt.Errorf("figure %s/%s: %w", fig.ID, name, err)
-		}
-		for _, mpl := range opts.MPLs {
-			res, err := machine.Run(mix, gamma.RunSpec{
-				MPL:            mpl,
-				WarmupQueries:  opts.WarmupQueries,
-				MeasureQueries: opts.MeasureQueries,
-				Seed:           opts.Seed,
-			})
-			if err != nil {
-				return out, fmt.Errorf("figure %s/%s MPL %d: %w", fig.ID, name, mpl, err)
-			}
-			out.Points = append(out.Points, Point{Strategy: name, MPL: mpl, Result: res})
-		}
-	}
-	return out, nil
+	return FigureResult{Figure: fig, Options: opts.withDefaults()}, err
 }
 
 // Throughput returns the measured throughput for a (strategy, MPL), or

@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/gamma"
+	"repro/internal/harness"
 	"repro/internal/stats"
-	"repro/internal/storage"
 	"repro/internal/workload"
 )
 
@@ -48,45 +48,82 @@ type ScaleResult struct {
 	Points []ScalePoint
 }
 
-// RunScaleSweep executes the sweep. opts.Processors and opts.MPLs are
-// ignored (the sweep sets both); the other options scale the workload.
+// RunScaleSweep executes the sweep serially: a workers=1 campaign over the
+// same job set RunScaleSweepParallel spreads across the pool.
 func RunScaleSweep(sweep ScaleSweep, opts Options) (ScaleResult, error) {
+	res, _, err := RunScaleSweepParallel(sweep, opts, CampaignOptions{Workers: 1})
+	return res, err
+}
+
+// RunScaleSweepParallel executes the sweep's (processors, strategy) jobs on
+// the harness worker pool. opts.Processors and opts.MPLs are ignored (the
+// sweep sets both); the other options scale the workload. The generated
+// relation depends only on (cardinality, correlation, seed), so one build
+// is shared — read-only — by every machine size; placements are built once
+// per (processors, strategy). Points come back in the serial order
+// (machine sizes as given, strategies within), byte-identical whatever the
+// worker count.
+func RunScaleSweepParallel(sweep ScaleSweep, opts Options, copts CampaignOptions) (ScaleResult, harness.Manifest, error) {
 	opts = opts.withDefaults()
 	out := ScaleResult{Sweep: sweep}
+
+	rels := relationCache{}
+	rel := rels.get(opts.Cardinality, sweep.Correlation.window(opts.Cardinality), opts.Seed)
+	mix := sweep.Mix(opts.Cardinality)
+
+	var jobs []harness.Job
 	for _, procs := range sweep.Processors {
 		o := opts
 		o.Processors = procs
 		o.Config = nil
 		cfg := ConfigFor(o)
-
-		rel := storage.GenerateWisconsin(storage.GenSpec{
-			Cardinality:       o.Cardinality,
-			CorrelationWindow: sweep.Correlation.window(o.Cardinality),
-			Seed:              o.Seed,
-		})
-		mix := sweep.Mix(o.Cardinality)
 		for _, name := range sweep.Strategies {
 			pl, err := BuildPlacement(name, rel, mix, o)
 			if err != nil {
-				return out, fmt.Errorf("scale sweep %s/P=%d: %w", name, procs, err)
+				return out, harness.Manifest{}, fmt.Errorf("scale sweep %s/P=%d: %w", name, procs, err)
 			}
-			machine, err := gamma.Build(rel, pl, cfg)
-			if err != nil {
-				return out, fmt.Errorf("scale sweep %s/P=%d: %w", name, procs, err)
-			}
-			res, err := machine.Run(mix, gamma.RunSpec{
-				MPL:            2 * procs,
-				WarmupQueries:  o.WarmupQueries,
-				MeasureQueries: o.MeasureQueries,
-				Seed:           o.Seed,
+			jobs = append(jobs, harness.Job{
+				ID:   fmt.Sprintf("scaleout/%s/p%d", name, procs),
+				Seed: o.Seed,
+				Run: func() (any, error) {
+					machine, err := gamma.Build(rel, pl, cfg)
+					if err != nil {
+						return nil, fmt.Errorf("scale sweep %s/P=%d: %w", name, procs, err)
+					}
+					res, err := machine.Run(mix, gamma.RunSpec{
+						MPL:            2 * procs,
+						WarmupQueries:  o.WarmupQueries,
+						MeasureQueries: o.MeasureQueries,
+						Seed:           o.Seed,
+					})
+					if err != nil {
+						return nil, fmt.Errorf("scale sweep %s/P=%d: %w", name, procs, err)
+					}
+					return res, nil
+				},
 			})
-			if err != nil {
-				return out, fmt.Errorf("scale sweep %s/P=%d: %w", name, procs, err)
-			}
-			out.Points = append(out.Points, ScalePoint{Strategy: name, Processors: procs, Result: res})
 		}
 	}
-	return out, nil
+
+	values, manifest := harness.Execute(jobs, harness.Options{
+		Workers:    copts.Workers,
+		JobTimeout: copts.JobTimeout,
+		Progress:   copts.Progress,
+		Label:      copts.Label,
+	})
+
+	j := 0
+	for _, procs := range sweep.Processors {
+		for _, name := range sweep.Strategies {
+			if v := values[j]; v != nil {
+				out.Points = append(out.Points, ScalePoint{
+					Strategy: name, Processors: procs, Result: v.(gamma.RunResult),
+				})
+			}
+			j++
+		}
+	}
+	return out, manifest, manifest.Err()
 }
 
 // Throughput returns the measured throughput for (strategy, processors).

@@ -1,0 +1,197 @@
+package harness
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func okJob(id string, v any) Job {
+	return Job{ID: id, Run: func() (any, error) { return v, nil }}
+}
+
+func TestExecuteReturnsValuesInJobOrder(t *testing.T) {
+	var jobs []Job
+	for i := 0; i < 20; i++ {
+		jobs = append(jobs, okJob(fmt.Sprintf("job%d", i), i*i))
+	}
+	values, m := Execute(jobs, Options{Workers: 4})
+	if len(values) != 20 {
+		t.Fatalf("values = %d", len(values))
+	}
+	for i, v := range values {
+		if v.(int) != i*i {
+			t.Fatalf("values[%d] = %v", i, v)
+		}
+	}
+	if m.Jobs != 20 || m.Failed != 0 || m.Workers != 4 {
+		t.Fatalf("manifest = %+v", m)
+	}
+	if err := m.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+	if len(m.Reports) != 20 || m.Reports[3].ID != "job3" {
+		t.Fatalf("reports misaligned: %+v", m.Reports[:4])
+	}
+	if m.Speedup <= 0 {
+		t.Fatalf("speedup = %v", m.Speedup)
+	}
+}
+
+func TestExecuteBoundsConcurrency(t *testing.T) {
+	var running, peak atomic.Int32
+	var jobs []Job
+	for i := 0; i < 12; i++ {
+		jobs = append(jobs, Job{ID: fmt.Sprintf("j%d", i), Run: func() (any, error) {
+			n := running.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			running.Add(-1)
+			return nil, nil
+		}})
+	}
+	_, m := Execute(jobs, Options{Workers: 3})
+	if got := peak.Load(); got > 3 {
+		t.Fatalf("observed %d concurrent jobs with 3 workers", got)
+	}
+	if m.Failed != 0 {
+		t.Fatalf("failures: %+v", m.Failures())
+	}
+}
+
+// A panicking job must become a structured failure record, not a crashed
+// campaign; the other jobs' values must survive.
+func TestPanicIsolation(t *testing.T) {
+	jobs := []Job{
+		okJob("before", "a"),
+		{ID: "boom", Seed: 42, Run: func() (any, error) { panic("injected") }},
+		okJob("after", "b"),
+	}
+	values, m := Execute(jobs, Options{Workers: 2})
+	if values[0] != "a" || values[2] != "b" {
+		t.Fatalf("survivor values lost: %v", values)
+	}
+	if values[1] != nil {
+		t.Fatalf("panicked job produced a value: %v", values[1])
+	}
+	fails := m.Failures()
+	if len(fails) != 1 || fails[0].ID != "boom" || !fails[0].Panicked {
+		t.Fatalf("failures = %+v", fails)
+	}
+	if fails[0].Seed != 42 {
+		t.Fatalf("failure lost the replay seed: %+v", fails[0])
+	}
+	if !strings.Contains(fails[0].Error, "injected") {
+		t.Fatalf("failure lost the panic value: %q", fails[0].Error)
+	}
+	if err := m.Err(); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("Err = %v", err)
+	}
+}
+
+func TestJobError(t *testing.T) {
+	jobs := []Job{
+		{ID: "bad", Run: func() (any, error) { return nil, errors.New("nope") }},
+		okJob("good", 7),
+	}
+	values, m := Execute(jobs, Options{Workers: 1})
+	if values[0] != nil || values[1] != 7 {
+		t.Fatalf("values = %v", values)
+	}
+	if m.Failed != 1 || m.Reports[0].Error != "nope" || m.Reports[0].Panicked {
+		t.Fatalf("reports = %+v", m.Reports)
+	}
+}
+
+// A hung job must be abandoned at its wall-clock budget and recorded as a
+// timeout; the pool must keep draining the remaining jobs.
+func TestJobTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	jobs := []Job{
+		{ID: "hung", Seed: 9, Run: func() (any, error) {
+			<-release // simulates a simulation that never completes
+			return "late", nil
+		}},
+		okJob("quick", 1),
+		okJob("quick2", 2),
+	}
+	values, m := Execute(jobs, Options{Workers: 2, JobTimeout: 20 * time.Millisecond})
+	if values[0] != nil {
+		t.Fatalf("timed-out job published a value: %v", values[0])
+	}
+	if values[1] != 1 || values[2] != 2 {
+		t.Fatalf("other jobs lost: %v", values)
+	}
+	fails := m.Failures()
+	if len(fails) != 1 || !fails[0].TimedOut || fails[0].ID != "hung" {
+		t.Fatalf("failures = %+v", fails)
+	}
+}
+
+func TestDefaultWorkersAndEmptyJobSet(t *testing.T) {
+	values, m := Execute(nil, Options{})
+	if len(values) != 0 || m.Jobs != 0 || m.Failed != 0 {
+		t.Fatalf("empty run: %v %+v", values, m)
+	}
+	if m.Workers < 1 {
+		t.Fatalf("defaulted workers = %d", m.Workers)
+	}
+	if err := m.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+}
+
+func TestProgressLines(t *testing.T) {
+	var buf bytes.Buffer
+	jobs := []Job{okJob("a", 1), okJob("b", 2), {ID: "c", Run: func() (any, error) {
+		return nil, errors.New("x")
+	}}}
+	Execute(jobs, Options{Workers: 1, Progress: &buf, Label: "camp"})
+	out := buf.String()
+	if strings.Count(out, "\n") != 3 {
+		t.Fatalf("want one line per job:\n%s", out)
+	}
+	for _, want := range []string{"camp: ", "1/3 jobs", "3/3 jobs", "eta", "FAILED"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("progress missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestManifestWriteAndMerge(t *testing.T) {
+	_, m1 := Execute([]Job{okJob("a", 1)}, Options{Workers: 2, Label: "one"})
+	_, m2 := Execute([]Job{okJob("b", 2), {ID: "bad", Run: func() (any, error) {
+		return nil, errors.New("x")
+	}}}, Options{Workers: 4, Label: "two"})
+
+	merged := Merge("both", m1, m2)
+	if merged.Jobs != 3 || merged.Failed != 1 || merged.Workers != 4 {
+		t.Fatalf("merged = %+v", merged)
+	}
+	if merged.WallMS < m1.WallMS || merged.WallMS < m2.WallMS {
+		t.Fatalf("merged wall %.3f < parts %.3f/%.3f", merged.WallMS, m1.WallMS, m2.WallMS)
+	}
+	if len(merged.Reports) != 3 {
+		t.Fatalf("reports = %d", len(merged.Reports))
+	}
+
+	var buf bytes.Buffer
+	if err := merged.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"label": "both"`, `"workers": 4`, `"job_reports"`, `"wall_ms"`, `"speedup"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("manifest JSON missing %q:\n%s", want, buf.String())
+		}
+	}
+}
