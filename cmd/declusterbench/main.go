@@ -23,7 +23,16 @@
 //	-manifest FILE   write the run manifest (per-job wall times, worker
 //	                 count, speedup, failure records) as JSON
 //	-detail          print per-point diagnostics
+//	-node-stats      print each strategy's per-node utilization table at the
+//	                 highest MPL of the sweep (execution-skew breakdown)
 //	-csv             emit CSV instead of aligned tables
+//
+// Profiling the simulator itself:
+//
+//	-cpuprofile FILE  write a pprof CPU profile of the whole run
+//	-memprofile FILE  write a pprof heap profile at exit
+//	-httppprof ADDR   serve net/http/pprof on ADDR (e.g. localhost:6060)
+//	                  for live inspection of long campaigns
 //
 // Exit status is non-zero when any simulation job fails or when -compare
 // finds throughput drifts beyond the tolerance, so both can gate CI.
@@ -32,8 +41,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -63,8 +75,49 @@ func run() int {
 		tolerance   = flag.Float64("tolerance", 0.05, "relative drift threshold for -compare")
 		csv         = flag.Bool("csv", false, "emit CSV")
 		scaleout    = flag.Bool("scaleout", false, "run the machine-size sweep too")
+		nodeStats   = flag.Bool("node-stats", false, "print per-node utilization tables (highest MPL)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		httpPprof   = flag.String("httppprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "declusterbench:", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile reflects retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "declusterbench:", err)
+			}
+			f.Close()
+		}()
+	}
+	if *httpPprof != "" {
+		go func() {
+			if err := http.ListenAndServe(*httpPprof, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "declusterbench: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof server on http://%s/debug/pprof/\n", *httpPprof)
+	}
 	seedSet := false
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "seed" {
@@ -118,6 +171,9 @@ func run() int {
 				} else {
 					fmt.Println(res.DetailTable().String())
 				}
+			}
+			if *nodeStats {
+				printNodeStats(res, *csv)
 			}
 			fmt.Println()
 		}
@@ -195,6 +251,32 @@ func run() int {
 			*manifestOut, merged.Jobs, merged.Workers, merged.Speedup)
 	}
 	return exit
+}
+
+// printNodeStats emits each strategy's per-node utilization table at the
+// sweep's highest MPL, where execution skew is most visible.
+func printNodeStats(res experiments.FigureResult, csv bool) {
+	mpls := res.Options.MPLs
+	if len(mpls) == 0 {
+		return
+	}
+	maxMPL := mpls[0]
+	for _, m := range mpls {
+		if m > maxMPL {
+			maxMPL = m
+		}
+	}
+	for _, s := range res.Figure.Strategies {
+		tb := res.NodeTable(s, maxMPL)
+		if tb == nil {
+			continue
+		}
+		if csv {
+			fmt.Print(tb.CSV())
+		} else {
+			fmt.Println(tb.String())
+		}
+	}
 }
 
 // workersFor mirrors the harness default so the banner matches reality.

@@ -9,13 +9,17 @@
 //
 //	querytrace [flags]
 //
-//	-attr A|B       predicate attribute (default B)
-//	-lo N -width W  predicate range [lo, lo+width)
-//	-card N         relation cardinality (default 20000)
-//	-procs N        processors (default 32)
-//	-corr low|high  attribute correlation
-//	-strategy s     run only one strategy (magic|berd|range|hash)
-//	-quiet          summary only, no event trace
+//	-attr A|B         predicate attribute (default B)
+//	-lo N -width W    predicate range [lo, lo+width)
+//	-card N           relation cardinality (default 20000)
+//	-procs N          processors (default 32)
+//	-corr low|high    attribute correlation
+//	-strategy s       run only one strategy (magic|berd|range|hash)
+//	-quiet            summary only, no event trace
+//	-trace-out FILE   write a Chrome trace-event JSON file (open it at
+//	                  ui.perfetto.dev or chrome://tracing); each strategy
+//	                  becomes one process row, each node×resource one track
+//	-trace-jsonl FILE write raw trace events as JSON Lines
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/experiments"
 	"repro/internal/gamma"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/workload"
@@ -34,14 +39,16 @@ import (
 
 func main() {
 	var (
-		attrName = flag.String("attr", "B", "predicate attribute: A or B")
-		lo       = flag.Int64("lo", 1000, "predicate lower bound")
-		width    = flag.Int64("width", 10, "predicate width (tuples)")
-		card     = flag.Int("card", 20000, "relation cardinality")
-		procs    = flag.Int("procs", 32, "processors")
-		corr     = flag.String("corr", "low", "attribute correlation: low or high")
-		strategy = flag.String("strategy", "", "run a single strategy")
-		quiet    = flag.Bool("quiet", false, "suppress the event trace")
+		attrName   = flag.String("attr", "B", "predicate attribute: A or B")
+		lo         = flag.Int64("lo", 1000, "predicate lower bound")
+		width      = flag.Int64("width", 10, "predicate width (tuples)")
+		card       = flag.Int("card", 20000, "relation cardinality")
+		procs      = flag.Int("procs", 32, "processors")
+		corr       = flag.String("corr", "low", "attribute correlation: low or high")
+		strategy   = flag.String("strategy", "", "run a single strategy")
+		quiet      = flag.Bool("quiet", false, "suppress the event trace")
+		traceOut   = flag.String("trace-out", "", "write Chrome trace-event JSON to this file")
+		traceJSONL = flag.String("trace-jsonl", "", "write trace events as JSON Lines to this file")
 	)
 	flag.Parse()
 
@@ -76,6 +83,20 @@ func main() {
 		strategies = []string{*strategy}
 	}
 
+	var chrome *obs.ChromeTracer
+	if *traceOut != "" {
+		chrome = obs.NewChromeTracer()
+	}
+	var jsonl *obs.JSONLSink
+	if *traceJSONL != "" {
+		f, err := os.Create(*traceJSONL)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		jsonl = obs.NewJSONLSink(f)
+	}
+
 	for _, name := range strategies {
 		pl, err := experiments.BuildPlacement(name, rel, mix, opts)
 		if err != nil {
@@ -83,15 +104,27 @@ func main() {
 		}
 		cfg := gamma.DefaultConfig()
 		cfg.HW.NumProcessors = *procs
+		cfg.Metrics = true
 		machine, err := gamma.Build(rel, pl, cfg)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("=== %s: %v ===\n", name, pred)
+		var sinks obs.MultiSink
 		if !*quiet {
-			machine.Eng.SetTrace(func(tm sim.Time, who, what string) {
-				fmt.Printf("  %10.3fms  %-12s %s\n", tm.Milliseconds(), who, what)
-			})
+			sinks = append(sinks, obs.SinkFunc(printEvent))
+		}
+		if chrome != nil {
+			chrome.BeginProcess(name)
+			sinks = append(sinks, chrome)
+		}
+		if jsonl != nil {
+			sinks = append(sinks, jsonl)
+		}
+		if len(sinks) == 1 {
+			machine.Eng.SetSink(sinks[0])
+		} else if len(sinks) > 1 {
+			machine.Eng.SetSink(sinks)
 		}
 		var res exec.QueryResult
 		machine.Eng.Spawn("probe", func(p *sim.Proc) {
@@ -104,6 +137,44 @@ func main() {
 		fmt.Printf("--> %d tuples in %.3fms using %d processors (%d auxiliary)\n\n",
 			res.Tuples, res.ResponseMS(), res.ProcessorsUsed, res.AuxProcessors)
 	}
+
+	if jsonl != nil {
+		if err := jsonl.Err(); err != nil {
+			fatal(err)
+		}
+	}
+	if chrome != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := chrome.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d trace events to %s (load at ui.perfetto.dev)\n", chrome.Len(), *traceOut)
+	}
+}
+
+// printEvent renders one trace event in the classic querytrace text format:
+// timestamp, the emitting track (category + node), and the event name with
+// duration and detail. String formatting lives here, at the edge — the
+// simulation emits typed events only.
+func printEvent(ev obs.TraceEvent) {
+	who := ev.Category
+	if ev.Node != obs.NoNode {
+		who = fmt.Sprintf("%s%d", ev.Category, ev.Node)
+	}
+	what := ev.Name
+	if ev.Kind == obs.KindSpan {
+		what = fmt.Sprintf("%s [%.3fms]", what, float64(ev.Dur)/1e6)
+	}
+	if ev.Detail != "" {
+		what += " (" + ev.Detail + ")"
+	}
+	fmt.Printf("  %10.3fms  %-12s %s\n", float64(ev.T)/1e6, who, what)
 }
 
 func fatal(err error) {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -26,7 +27,10 @@ type Pool struct {
 	resident map[int]*list.Element // physical page -> LRU element
 	inflight map[int]*sim.Trigger  // physical page -> pending read completion
 
-	hits, misses int64
+	hits, misses, evictions int64
+
+	// Registry handles (nil-safe when metrics are disabled).
+	hitsC, missesC, evictionsC *obs.Counter
 }
 
 // NewPool creates a pool of the given capacity over the node's disk.
@@ -36,7 +40,7 @@ func NewPool(e *sim.Engine, name string, capacity int, disk *hw.Disk) *Pool {
 	if capacity < 0 {
 		panic(fmt.Sprintf("buffer: negative capacity %d", capacity))
 	}
-	return &Pool{
+	b := &Pool{
 		eng:      e,
 		name:     name,
 		capacity: capacity,
@@ -45,6 +49,12 @@ func NewPool(e *sim.Engine, name string, capacity int, disk *hw.Disk) *Pool {
 		resident: make(map[int]*list.Element),
 		inflight: make(map[int]*sim.Trigger),
 	}
+	if reg := e.Metrics(); reg != nil {
+		b.hitsC = reg.Counter(name + ".hits")
+		b.missesC = reg.Counter(name + ".misses")
+		b.evictionsC = reg.Counter(name + ".evictions")
+	}
+	return b
 }
 
 // Read ensures physPage is in memory, blocking the caller for the disk read
@@ -53,21 +63,25 @@ func NewPool(e *sim.Engine, name string, capacity int, disk *hw.Disk) *Pool {
 func (b *Pool) Read(p *sim.Proc, physPage int) {
 	if b.capacity == 0 {
 		b.misses++
+		b.missesC.Inc()
 		b.disk.Read(p, physPage)
 		return
 	}
 	if el, ok := b.resident[physPage]; ok {
 		b.hits++
+		b.hitsC.Inc()
 		b.lru.MoveToFront(el)
 		return
 	}
 	if tr, ok := b.inflight[physPage]; ok {
 		// Another process is already reading this page; piggyback on it.
 		b.hits++
+		b.hitsC.Inc()
 		tr.Wait(p)
 		return
 	}
 	b.misses++
+	b.missesC.Inc()
 	tr := sim.NewTrigger(b.eng)
 	b.inflight[physPage] = tr
 	b.disk.Read(p, physPage)
@@ -89,6 +103,8 @@ func (b *Pool) insert(physPage int) {
 		oldest := b.lru.Back()
 		b.lru.Remove(oldest)
 		delete(b.resident, oldest.Value.(int))
+		b.evictions++
+		b.evictionsC.Inc()
 	}
 }
 
@@ -116,6 +132,9 @@ func (b *Pool) Hits() int64 { return b.hits }
 // Misses reports buffer misses (actual disk reads issued).
 func (b *Pool) Misses() int64 { return b.misses }
 
+// Evictions reports pages evicted to stay within capacity.
+func (b *Pool) Evictions() int64 { return b.evictions }
+
 // HitRate reports hits / (hits + misses), or 0 before any access.
 func (b *Pool) HitRate() float64 {
 	total := b.hits + b.misses
@@ -125,5 +144,11 @@ func (b *Pool) HitRate() float64 {
 	return float64(b.hits) / float64(total)
 }
 
-// ResetStats clears hit/miss counters (post warm-up) without evicting pages.
-func (b *Pool) ResetStats() { b.hits, b.misses = 0, 0 }
+// ResetStats clears hit/miss/eviction counters (post warm-up) without
+// evicting pages.
+func (b *Pool) ResetStats() {
+	b.hits, b.misses, b.evictions = 0, 0, 0
+	b.hitsC.Reset()
+	b.missesC.Reset()
+	b.evictionsC.Reset()
+}

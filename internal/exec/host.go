@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"sort"
 )
@@ -55,17 +56,28 @@ type Host struct {
 
 	// Stats.
 	QueriesRun int64
+
+	// Registry handles (nil-safe when metrics are disabled).
+	completedC *obs.Counter
+	fanoutH    *obs.Histogram
+	respH      *obs.Histogram
 }
 
 // NewHost wires the scheduler node. Relations are attached with
 // AddRelation; the first becomes the default for Execute.
 func NewHost(eng *sim.Engine, id int, params hw.Params, net *hw.Network, costs Costs) *Host {
-	return &Host{
+	h := &Host{
 		ID: id, net: net, eng: eng,
 		params: params, costs: costs,
 		placements: make(map[string]core.Placement),
 		pending:    make(map[int64]*sim.Mailbox[any]),
 	}
+	if reg := eng.Metrics(); reg != nil {
+		h.completedC = reg.Counter("query.completed")
+		h.fanoutH = reg.Histogram("query.fanout_nodes")
+		h.respH = reg.Histogram("query.response_ms")
+	}
+	return h
 }
 
 // AddRelation registers a declustered relation with the Query Manager.
@@ -135,6 +147,8 @@ func (h *Host) ExecuteOn(p *sim.Proc, relation string, pred core.Predicate, acce
 	mb := sim.NewMailbox[any](h.eng, fmt.Sprintf("host.q%d", qid))
 	h.pending[qid] = mb
 	defer delete(h.pending, qid)
+	p.SetQID(qid)
+	defer p.SetQID(0)
 
 	// Query Manager: parse and plan (coordination delay, not CPU
 	// contention — see the Host doc comment).
@@ -152,6 +166,7 @@ func (h *Host) ExecuteOn(p *sim.Proc, relation string, pred core.Predicate, acce
 
 	// BERD two-step: consult the auxiliary relation first.
 	if len(route.Aux) > 0 {
+		auxStart := p.Now()
 		for _, node := range route.Aux {
 			used[node] = true
 			h.net.Send(p, nil, hw.Message{
@@ -174,9 +189,19 @@ func (h *Host) ExecuteOn(p *sim.Proc, relation string, pred core.Predicate, acce
 		// Map iteration order is randomized; keep the schedule (and hence
 		// the whole simulation) deterministic.
 		sort.Ints(participants)
+		if h.eng.Tracing() {
+			h.eng.Emit(obs.TraceEvent{
+				T: int64(auxStart), Dur: int64(p.Now() - auxStart),
+				Node: obs.NoNode, Kind: obs.KindSpan, Category: "query",
+				Name:    fmt.Sprintf("q%d aux phase", qid),
+				QueryID: qid,
+				Detail:  fmt.Sprintf("%d aux nodes -> %d operators", len(route.Aux), len(participants)),
+			})
+		}
 	}
 
 	// Scheduler: start one operator per participant.
+	opStart := p.Now()
 	for _, node := range participants {
 		used[node] = true
 		op := startOp{QueryID: qid, Relation: relation, Pred: pred, ReplyTo: h.ID, Access: access(pred)}
@@ -197,6 +222,26 @@ func (h *Host) ExecuteOn(p *sim.Proc, relation string, pred core.Predicate, acce
 	res.ProcessorsUsed = len(used)
 	res.Completed = p.Now()
 	h.QueriesRun++
+	h.completedC.Inc()
+	h.fanoutH.Observe(float64(res.ProcessorsUsed))
+	h.respH.Observe(res.ResponseMS())
+	if h.eng.Tracing() {
+		h.eng.Emit(obs.TraceEvent{
+			T: int64(opStart), Dur: int64(res.Completed - opStart),
+			Node: obs.NoNode, Kind: obs.KindSpan, Category: "query",
+			Name:    fmt.Sprintf("q%d operator phase", qid),
+			QueryID: qid,
+			Detail:  fmt.Sprintf("%d participants", len(participants)),
+		})
+		h.eng.Emit(obs.TraceEvent{
+			T: int64(res.Submitted), Dur: int64(res.Completed - res.Submitted),
+			Node: obs.NoNode, Kind: obs.KindSpan, Category: "query",
+			Name:    fmt.Sprintf("q%d %s", qid, relation),
+			QueryID: qid,
+			Detail: fmt.Sprintf("%d tuples, %d processors (%d aux)",
+				res.Tuples, res.ProcessorsUsed, res.AuxProcessors),
+		})
+	}
 	return res
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/buffer"
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -55,18 +56,29 @@ type Node struct {
 	// Stats.
 	OpsExecuted   int64
 	TuplesShipped int64
+
+	// Registry handles (nil-safe when metrics are disabled).
+	opsC    *obs.Counter
+	tuplesC *obs.Counter
+	pagesC  *obs.Counter
 }
 
 // NewNode wires a node; fragments are attached by the machine builder.
 func NewNode(eng *sim.Engine, id int, params hw.Params, costs Costs, net *hw.Network,
 	cpu *hw.CPU, disk *hw.Disk, pool *buffer.Pool) *Node {
-	return &Node{
+	n := &Node{
 		ID: id, CPU: cpu, Disk: disk, Pool: pool,
 		frags:  make(map[string]*storage.Fragment),
 		aux:    make(map[string]map[int]*storage.AuxFragment),
 		joins:  make(map[int64]*joinWorker),
 		params: params, costs: costs, net: net, eng: eng,
 	}
+	if reg := eng.Metrics(); reg != nil {
+		n.opsC = reg.Counter(fmt.Sprintf("node%d.ops", id))
+		n.tuplesC = reg.Counter(fmt.Sprintf("node%d.tuples_selected", id))
+		n.pagesC = reg.Counter(fmt.Sprintf("node%d.pages_scanned", id))
+	}
+	return n
 }
 
 // AddFragment attaches the node's fragment of a relation.
@@ -87,6 +99,12 @@ func (n *Node) AddAux(relation string, attr int, aux *storage.AuxFragment) {
 
 // Fragment returns the node's fragment of a relation, or nil.
 func (n *Node) Fragment(relation string) *storage.Fragment { return n.frags[relation] }
+
+// ResetStats clears the node's operator counters (post warm-up). The
+// registry counters are reset wholesale by the caller via Registry.Reset.
+func (n *Node) ResetStats() {
+	n.OpsExecuted, n.TuplesShipped = 0, 0
+}
 
 // fragment panics if the node lacks the relation — the routing layer sent
 // work to the wrong place.
@@ -137,6 +155,8 @@ func (n *Node) Start() {
 // fetches against the local fragment, then ships the qualifying tuples to
 // the scheduler. The final result message doubles as the completion signal.
 func (n *Node) runSelect(p *sim.Proc, req startOp) {
+	p.SetQID(req.QueryID)
+	start := p.Now()
 	frag := n.fragment(req.Relation)
 	var acc storage.Access
 	switch req.Access {
@@ -154,17 +174,30 @@ func (n *Node) runSelect(p *sim.Proc, req startOp) {
 	n.chargeAccess(p, acc)
 	n.OpsExecuted++
 	n.TuplesShipped += int64(len(acc.Tuples))
+	n.opsC.Inc()
+	n.tuplesC.Add(int64(len(acc.Tuples)))
 
 	bytes := n.params.TupleBytes(len(acc.Tuples)) + controlBytes
 	n.net.Send(p, n.CPU, hw.Message{
 		From: n.ID, To: req.ReplyTo, Bytes: bytes,
 		Payload: opResult{QueryID: req.QueryID, Node: n.ID, Tuples: len(acc.Tuples)},
 	})
+	if n.eng.Tracing() {
+		n.eng.Emit(obs.TraceEvent{
+			T: int64(start), Dur: int64(p.Now() - start),
+			Node: n.ID, Kind: obs.KindSpan, Category: "op",
+			Name:    "select " + req.Access.String(),
+			QueryID: req.QueryID,
+			Detail:  fmt.Sprintf("%d tuples", len(acc.Tuples)),
+		})
+	}
 }
 
 // runAuxLookup executes BERD's first step: search the local fragment of the
 // auxiliary relation and return the home processors of qualifying tuples.
 func (n *Node) runAuxLookup(p *sim.Proc, req auxLookup) {
+	p.SetQID(req.QueryID)
+	start := p.Now()
 	aux := n.aux[req.Relation][req.Pred.Attr]
 	if aux == nil {
 		panic(fmt.Sprintf("exec: node %d has no aux relation for %q attr %d",
@@ -175,16 +208,27 @@ func (n *Node) runAuxLookup(p *sim.Proc, req auxLookup) {
 		n.Pool.Read(p, pg)
 		n.CPU.Execute(p, n.costs.IndexPageInstr)
 	}
+	n.pagesC.Add(int64(len(pages)))
 	byProc := make(map[int][]int64)
 	for i, proc := range procs {
 		byProc[proc] = append(byProc[proc], tids[i])
 	}
 	n.OpsExecuted++
+	n.opsC.Inc()
 	bytes := len(procs)*auxEntryBytes + controlBytes
 	n.net.Send(p, n.CPU, hw.Message{
 		From: n.ID, To: req.ReplyTo, Bytes: bytes,
 		Payload: auxResult{QueryID: req.QueryID, Node: n.ID, TIDsByProc: byProc, Entries: len(procs)},
 	})
+	if n.eng.Tracing() {
+		n.eng.Emit(obs.TraceEvent{
+			T: int64(start), Dur: int64(p.Now() - start),
+			Node: n.ID, Kind: obs.KindSpan, Category: "op",
+			Name:    "aux-lookup",
+			QueryID: req.QueryID,
+			Detail:  fmt.Sprintf("%d entries", len(procs)),
+		})
+	}
 }
 
 // chargeAccess replays an access-method page trace against the node's
@@ -199,4 +243,5 @@ func (n *Node) chargeAccess(p *sim.Proc, acc storage.Access) {
 		n.Pool.Read(p, pg)
 		n.CPU.Execute(p, n.params.ReadPageInstr)
 	}
+	n.pagesC.Add(int64(len(acc.IndexPages) + len(acc.DataPages)))
 }

@@ -304,11 +304,11 @@ func (fr FigureResult) Chart() *stats.Chart {
 }
 
 // DetailTable renders per-point diagnostics (processors used, response
-// time, utilizations).
+// time, utilizations, execution skew).
 func (fr FigureResult) DetailTable() *stats.Table {
 	tb := stats.NewTable(fmt.Sprintf("Figure %s detail", fr.Figure.ID),
 		"strategy", "MPL", "q/s", "resp ms", "p95 ms", "procs/query",
-		"disk util", "cpu util", "buf hit", "reads/query")
+		"disk util", "cpu util", "buf hit", "reads/query", "disk skew")
 	for _, p := range fr.Points {
 		r := p.Result
 		tb.AddRow(p.Strategy, p.MPL,
@@ -319,7 +319,42 @@ func (fr FigureResult) DetailTable() *stats.Table {
 			fmt.Sprintf("%.2f", r.DiskUtilization),
 			fmt.Sprintf("%.2f", r.CPUUtilization),
 			fmt.Sprintf("%.2f", r.BufferHitRate),
-			fmt.Sprintf("%.1f", r.DiskReadsPerQry))
+			fmt.Sprintf("%.1f", r.DiskReadsPerQry),
+			fmt.Sprintf("%.2f", r.DiskSkew))
+	}
+	return tb
+}
+
+// Point returns the measured result for a (strategy, MPL), or nil.
+func (fr FigureResult) Point(strategy string, mpl int) *gamma.RunResult {
+	for i := range fr.Points {
+		if fr.Points[i].Strategy == strategy && fr.Points[i].MPL == mpl {
+			return &fr.Points[i].Result
+		}
+	}
+	return nil
+}
+
+// NodeTable renders a (strategy, MPL) point's per-node resource breakdown —
+// the execution-skew vector behind the figure's means. Returns nil when the
+// point was not measured.
+func (fr FigureResult) NodeTable(strategy string, mpl int) *stats.Table {
+	r := fr.Point(strategy, mpl)
+	if r == nil || len(r.NodeStats) == 0 {
+		return nil
+	}
+	tb := stats.NewTable(
+		fmt.Sprintf("Figure %s: %s @ MPL %d — per-node utilization (disk skew %.2f, cpu skew %.2f)",
+			fr.Figure.ID, strategy, mpl, r.DiskSkew, r.CPUSkew),
+		"node", "cpu util", "disk util", "disk reads", "buf hit", "ops", "tuples")
+	for _, u := range r.NodeStats {
+		tb.AddRow(u.Node,
+			fmt.Sprintf("%.3f", u.CPUUtil),
+			fmt.Sprintf("%.3f", u.DiskUtil),
+			u.DiskReads,
+			fmt.Sprintf("%.2f", u.BufferHitRate),
+			u.OpsExecuted,
+			u.TuplesShipped)
 	}
 	return tb
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/storage"
@@ -35,6 +36,12 @@ type Config struct {
 	// BERDFetchByTID switches BERD's second step to per-TID fetches
 	// instead of predicate re-execution (ablation; see exec.Host).
 	BERDFetchByTID bool
+	// Metrics attaches an obs.Registry to the engine: facilities, disks,
+	// buffer pools and the execution layer register latency histograms and
+	// counters, and Run snapshots them into the result. Off by default —
+	// the simulation schedule is identical either way, it only adds
+	// bookkeeping cost.
+	Metrics bool
 	// Seed drives all machine-level randomness (disk latencies, workload).
 	Seed int64
 }
@@ -162,6 +169,9 @@ func (m *Machine) reset() {
 	cfg := m.Cfg
 	p := m.Placement.Processors()
 	eng := sim.New()
+	if cfg.Metrics {
+		eng.SetMetrics(obs.NewRegistry())
+	}
 	streams := rng.NewFactory(cfg.Seed)
 
 	// Operator nodes carry CPUs; the host endpoint (index p) is an
@@ -169,6 +179,7 @@ func (m *Machine) reset() {
 	cpus := make([]*hw.CPU, p+1)
 	for i := 0; i < p; i++ {
 		cpus[i] = hw.NewCPU(eng, fmt.Sprintf("cpu%d", i), cfg.HW)
+		cpus[i].SetNode(i)
 	}
 	net := hw.NewNetwork(eng, cfg.HW, cpus)
 
@@ -178,6 +189,7 @@ func (m *Machine) reset() {
 	for i := 0; i < p; i++ {
 		disk := hw.NewDisk(eng, fmt.Sprintf("disk%d", i), cfg.HW, cpus[i],
 			streams.Stream(fmt.Sprintf("disk%d", i)))
+		disk.SetNode(i)
 		pool := buffer.NewPool(eng, fmt.Sprintf("buf%d", i), cfg.BufferPages, disk)
 		nodes[i] = exec.NewNode(eng, i, cfg.HW, cfg.Costs, net, cpus[i], disk, pool)
 		allocs[i] = storage.NewAllocator(cfg.HW.PagesPerDisk())

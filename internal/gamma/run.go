@@ -3,6 +3,7 @@ package gamma
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -34,6 +35,20 @@ type ClassStats struct {
 	MeanProcsUsed  float64
 }
 
+// NodeUtil is one operator node's share of the measurement window: the
+// per-node breakdown behind RunResult's machine-wide means. Comparing rows
+// exposes execution skew — range declustering concentrates a selection's
+// work on few nodes while MAGIC and BERD spread it (Section 7).
+type NodeUtil struct {
+	Node          int     `json:"node"`
+	CPUUtil       float64 `json:"cpu_util"`
+	DiskUtil      float64 `json:"disk_util"`
+	DiskReads     int64   `json:"disk_reads"`
+	BufferHitRate float64 `json:"buffer_hit_rate"`
+	OpsExecuted   int64   `json:"ops_executed"`
+	TuplesShipped int64   `json:"tuples_shipped"`
+}
+
 // RunResult summarizes a measurement window.
 type RunResult struct {
 	Strategy        string
@@ -53,6 +68,16 @@ type RunResult struct {
 	// PerClass breaks response time and processor usage down by query
 	// class (the paper discusses QA and QB behaviour separately).
 	PerClass map[string]ClassStats
+	// NodeStats is the per-node breakdown of the utilization means above,
+	// in node order. DiskSkew and CPUSkew condense it to max/mean ratios
+	// (1.0 = perfectly balanced; higher = more execution skew).
+	NodeStats []NodeUtil `json:"node_stats,omitempty"`
+	DiskSkew  float64    `json:"disk_skew,omitempty"`
+	CPUSkew   float64    `json:"cpu_skew,omitempty"`
+	// Metrics carries the engine registry snapshot when Config.Metrics is
+	// on: latency histograms (queueing vs service per facility), buffer
+	// and network counters, query fan-out and response distributions.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // String renders the headline numbers.
@@ -169,16 +194,36 @@ func (m *Machine) Run(mix workload.Mix, spec RunSpec) (RunResult, error) {
 	out.P95ResponseMS = resp.Percentile(95)
 
 	var cpu, disk, hits, total float64
-	for _, n := range m.Nodes {
+	out.NodeStats = make([]NodeUtil, len(m.Nodes))
+	for i, n := range m.Nodes {
 		cpu += n.CPU.Utilization()
 		disk += n.Disk.Utilization()
 		hits += float64(n.Pool.Hits())
 		total += float64(n.Pool.Hits() + n.Pool.Misses())
+		out.NodeStats[i] = NodeUtil{
+			Node:          n.ID,
+			CPUUtil:       n.CPU.Utilization(),
+			DiskUtil:      n.Disk.Utilization(),
+			DiskReads:     n.Disk.Reads(),
+			BufferHitRate: n.Pool.HitRate(),
+			OpsExecuted:   n.OpsExecuted,
+			TuplesShipped: n.TuplesShipped,
+		}
 	}
 	out.CPUUtilization = cpu / float64(len(m.Nodes))
 	out.DiskUtilization = disk / float64(len(m.Nodes))
 	if total > 0 {
 		out.BufferHitRate = hits / total
+	}
+	out.DiskSkew = skewRatio(out.NodeStats, func(u NodeUtil) float64 { return u.DiskUtil })
+	out.CPUSkew = skewRatio(out.NodeStats, func(u NodeUtil) float64 { return u.CPUUtil })
+	if reg := eng.Metrics(); reg != nil {
+		for _, u := range out.NodeStats {
+			reg.Gauge(fmt.Sprintf("node%d.cpu.util", u.Node)).Set(u.CPUUtil)
+			reg.Gauge(fmt.Sprintf("node%d.disk.util", u.Node)).Set(u.DiskUtil)
+		}
+		snap := reg.Snapshot()
+		out.Metrics = &snap
 	}
 	out.PerClass = make(map[string]ClassStats, len(perClass))
 	for name, ca := range perClass {
@@ -193,6 +238,24 @@ func (m *Machine) Run(mix workload.Mix, spec RunSpec) (RunResult, error) {
 	return out, nil
 }
 
+// skewRatio reports max/mean of a per-node metric: 1.0 when the load is
+// perfectly balanced, approaching the node count when one node does all
+// the work. Returns 0 when the metric is identically zero.
+func skewRatio(nodes []NodeUtil, metric func(NodeUtil) float64) float64 {
+	var max, sum float64
+	for _, u := range nodes {
+		v := metric(u)
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum <= 0 {
+		return 0
+	}
+	return max / (sum / float64(len(nodes)))
+}
+
 // resetStats clears utilization and counter state at the start of the
 // measurement window.
 func (m *Machine) resetStats() {
@@ -200,8 +263,12 @@ func (m *Machine) resetStats() {
 		n.CPU.ResetStats()
 		n.Disk.ResetStats()
 		n.Pool.ResetStats()
+		n.ResetStats()
 	}
 	m.Net.ResetStats()
+	if reg := m.Eng.Metrics(); reg != nil {
+		reg.Reset()
+	}
 }
 
 func (m *Machine) totalDiskReads() int64 {

@@ -67,9 +67,27 @@ type JobReport struct {
 // timeout).
 func (r JobReport) Failed() bool { return r.Error != "" }
 
+// Env records the toolchain and host a campaign ran under, so archived
+// manifests are comparable across machines and Go releases.
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+// CaptureEnv snapshots the current process environment.
+func CaptureEnv() Env {
+	return Env{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+}
+
 // Manifest summarizes one Execute call.
 type Manifest struct {
 	Label   string `json:"label,omitempty"`
+	Env     Env    `json:"env"`
 	Workers int    `json:"workers"`
 	Jobs    int    `json:"jobs"`
 	Failed  int    `json:"failed"`
@@ -117,7 +135,7 @@ func (m Manifest) Write(w io.Writer) error {
 // concatenate, wall times add, and the speedup is recomputed over the
 // union.
 func Merge(label string, ms ...Manifest) Manifest {
-	out := Manifest{Label: label}
+	out := Manifest{Label: label, Env: CaptureEnv()}
 	for _, m := range ms {
 		if m.Workers > out.Workers {
 			out.Workers = m.Workers
@@ -235,6 +253,7 @@ func Execute(jobs []Job, opts Options) ([]any, Manifest) {
 
 	m := Manifest{
 		Label:    opts.Label,
+		Env:      CaptureEnv(),
 		Workers:  workers,
 		Jobs:     len(jobs),
 		WallMS:   msSince(start),

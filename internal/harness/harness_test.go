@@ -2,8 +2,10 @@ package harness
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -193,5 +195,35 @@ func TestManifestWriteAndMerge(t *testing.T) {
 		if !strings.Contains(buf.String(), want) {
 			t.Fatalf("manifest JSON missing %q:\n%s", want, buf.String())
 		}
+	}
+}
+
+func TestManifestRecordsEnv(t *testing.T) {
+	_, m := Execute([]Job{{ID: "a", Run: func() (any, error) { return 1, nil }}}, Options{Workers: 1})
+	if m.Env.GoVersion != runtime.Version() {
+		t.Errorf("GoVersion = %q, want %q", m.Env.GoVersion, runtime.Version())
+	}
+	if m.Env.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		t.Errorf("GOMAXPROCS = %d, want %d", m.Env.GOMAXPROCS, runtime.GOMAXPROCS(0))
+	}
+	if m.Env.NumCPU != runtime.NumCPU() {
+		t.Errorf("NumCPU = %d, want %d", m.Env.NumCPU, runtime.NumCPU())
+	}
+
+	// The env survives serialization and merging.
+	merged := Merge("both", m, m)
+	if merged.Env != m.Env {
+		t.Errorf("merged env = %+v", merged.Env)
+	}
+	var buf bytes.Buffer
+	if err := merged.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Env != m.Env {
+		t.Errorf("round-tripped env = %+v", back.Env)
 	}
 }

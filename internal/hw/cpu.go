@@ -30,6 +30,10 @@ func NewCPU(e *sim.Engine, name string, params Params) *CPU {
 	return &CPU{params: params, fac: sim.NewFacility(e, name)}
 }
 
+// SetNode records the node id for observability: CPU service spans land on
+// that node's "cpu" track.
+func (c *CPU) SetNode(node int) { c.fac.SetMeta(node, "cpu") }
+
 // Execute charges instr instructions at normal priority, blocking the caller
 // through queueing and service.
 func (c *CPU) Execute(p *sim.Proc, instr int) {

@@ -3,6 +3,7 @@ package hw
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -22,6 +23,7 @@ import (
 type Disk struct {
 	eng    *sim.Engine
 	name   string
+	node   int // observability: which node's "disk" track spans land on
 	params Params
 	cpu    *CPU
 	lat    *rng.Source
@@ -36,7 +38,12 @@ type Disk struct {
 
 	reads, writes, seqHits int64
 	svc                    stats.Accumulator // per-request mechanism time, ms
+	wait                   stats.Accumulator // queueing delay before the arm starts, ms
 	util                   stats.TimeWeighted
+
+	// Registry handles (nil-safe when metrics are disabled).
+	waitH *obs.Histogram
+	svcH  *obs.Histogram
 }
 
 type diskReq struct {
@@ -44,18 +51,27 @@ type diskReq struct {
 	physPage int
 	write    bool
 	seq      uint64
+	arrived  sim.Time
+	qid      int64
 }
 
 // NewDisk creates the disk for a node. cpu receives the FIFO transfer
 // charges; lat supplies rotational latencies.
 func NewDisk(e *sim.Engine, name string, params Params, cpu *CPU, lat *rng.Source) *Disk {
 	d := &Disk{
-		eng: e, name: name, params: params, cpu: cpu, lat: lat,
+		eng: e, name: name, node: obs.NoNode, params: params, cpu: cpu, lat: lat,
 		dirUp: true, lastPage: -1,
 	}
 	d.util.Set(float64(e.Now()), 0)
+	if reg := e.Metrics(); reg != nil {
+		d.waitH = reg.Histogram(name + ".wait_ms")
+		d.svcH = reg.Histogram(name + ".service_ms")
+	}
 	return d
 }
+
+// SetNode records the node id for observability tracks.
+func (d *Disk) SetNode(node int) { d.node = node }
 
 // Read fetches the physical page into memory, blocking the caller for queue,
 // mechanism, and FIFO-transfer time.
@@ -79,7 +95,10 @@ func (d *Disk) access(p *sim.Proc, physPage int, write bool) {
 			d.name, physPage, d.params.PagesPerDisk()))
 	}
 	d.nextSeq++
-	d.queue = append(d.queue, diskReq{p: p, physPage: physPage, write: write, seq: d.nextSeq})
+	d.queue = append(d.queue, diskReq{
+		p: p, physPage: physPage, write: write, seq: d.nextSeq,
+		arrived: d.eng.Now(), qid: p.QID(),
+	})
 	if !d.busy {
 		d.busy = true
 		d.util.Set(float64(d.eng.Now()), 1)
@@ -95,10 +114,13 @@ func (d *Disk) startNext() {
 	req := d.queue[idx]
 	d.queue = append(d.queue[:idx], d.queue[idx+1:]...)
 
+	start := d.eng.Now()
 	t := d.serviceTime(req.physPage)
 	d.svc.Add(t.Milliseconds())
-	d.eng.Tracef(d.name, "%s page %d (cyl %d) in %v",
-		verb(req.write), req.physPage, d.params.Cylinder(req.physPage), t)
+	d.svcH.Observe(t.Milliseconds())
+	waitMS := sim.Duration(start - req.arrived).Milliseconds()
+	d.wait.Add(waitMS)
+	d.waitH.Observe(waitMS)
 	d.headCyl = d.params.Cylinder(req.physPage)
 	d.lastPage = req.physPage
 	if req.write {
@@ -107,6 +129,15 @@ func (d *Disk) startNext() {
 		d.reads++
 	}
 	d.eng.Schedule(t, func() {
+		if d.eng.Tracing() {
+			d.eng.Emit(obs.TraceEvent{
+				T: int64(start), Dur: int64(t),
+				Node: d.node, Kind: obs.KindSpan, Category: "disk",
+				Name:    fmt.Sprintf("%s p%d", verb(req.write), req.physPage),
+				QueryID: req.qid,
+				Detail:  fmt.Sprintf("cyl %d", d.params.Cylinder(req.physPage)),
+			})
+		}
 		d.eng.Wake(req.p)
 		if len(d.queue) > 0 {
 			d.startNext()
@@ -200,9 +231,15 @@ func (d *Disk) Utilization() float64 { return d.util.Mean(float64(d.eng.Now())) 
 // MeanServiceMS reports the mean per-request mechanism time, ms.
 func (d *Disk) MeanServiceMS() float64 { return d.svc.Mean() }
 
+// MeanWaitMS reports the mean queueing delay before the arm starts, ms.
+func (d *Disk) MeanWaitMS() float64 { return d.wait.Mean() }
+
 // ResetStats restarts counters and utilization accounting (post warm-up).
 func (d *Disk) ResetStats() {
 	d.reads, d.writes, d.seqHits = 0, 0, 0
 	d.svc.Reset()
+	d.wait.Reset()
+	d.waitH.Reset()
+	d.svcH.Reset()
 	d.util.ResetAt(float64(d.eng.Now()))
 }

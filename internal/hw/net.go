@@ -3,6 +3,7 @@ package hw
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -35,6 +36,10 @@ type Network struct {
 	eng    *sim.Engine
 	params Params
 	nics   []*NIC
+
+	// Registry handles (nil-safe when metrics are disabled).
+	packetsC *obs.Counter
+	bytesC   *obs.Counter
 }
 
 // NewNetwork wires one NIC per CPU. Each NIC gets a receive-interrupt
@@ -48,6 +53,10 @@ type Network struct {
 // receive-interrupt charge.
 func NewNetwork(e *sim.Engine, params Params, cpus []*CPU) *Network {
 	n := &Network{eng: e, params: params, nics: make([]*NIC, len(cpus))}
+	if reg := e.Metrics(); reg != nil {
+		n.packetsC = reg.Counter("net.packets")
+		n.bytesC = reg.Counter("net.bytes")
+	}
 	for i := range cpus {
 		nic := &NIC{
 			node:  i,
@@ -55,6 +64,7 @@ func NewNetwork(e *sim.Engine, params Params, cpus []*CPU) *Network {
 			rx:    sim.NewMailbox[Message](e, fmt.Sprintf("nic%d.rx", i)),
 			inbox: sim.NewMailbox[Message](e, fmt.Sprintf("nic%d.inbox", i)),
 		}
+		nic.out.SetMeta(i, "net")
 		n.nics[i] = nic
 		cpu := cpus[i]
 		e.Spawn(fmt.Sprintf("nic%d.recv", i), func(p *sim.Proc) {
@@ -108,8 +118,15 @@ func (n *Network) Send(p *sim.Proc, cpu *CPU, msg Message) {
 		src.out.Use(p, n.params.WireTime(chunk))
 		src.sent++
 		src.bytesSent += int64(chunk)
-		n.eng.Tracef(fmt.Sprintf("net %d->%d", msg.From, msg.To),
-			"packet %dB", chunk)
+		n.packetsC.Inc()
+		n.bytesC.Add(int64(chunk))
+		if n.eng.Tracing() {
+			n.eng.EmitNow(obs.TraceEvent{
+				Node: msg.From, Kind: obs.KindInstant, Category: "net",
+				Name:    fmt.Sprintf("packet %dB -> %d", chunk, msg.To),
+				QueryID: p.QID(),
+			})
+		}
 		if last {
 			// Deliver the logical message with the final packet.
 			n.nics[msg.To].rx.Put(Message{From: msg.From, To: msg.To, Bytes: chunk, Payload: msg.Payload})
@@ -139,4 +156,6 @@ func (n *Network) ResetStats() {
 		nic.sent, nic.received, nic.bytesSent = 0, 0, 0
 		nic.out.ResetStats()
 	}
+	n.packetsC.Reset()
+	n.bytesC.Reset()
 }

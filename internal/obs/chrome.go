@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// ChromeTracer collects trace events and writes them in the Chrome
+// trace-event JSON format, loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Each (node, category) pair becomes one named track
+// (thread), and each BeginProcess call opens a new process group — one per
+// simulated machine, so e.g. the strategies querytrace compares appear side
+// by side in a single file.
+//
+// Emit is safe for concurrent use.
+type ChromeTracer struct {
+	mu     sync.Mutex
+	pid    int
+	names  map[int]string // pid -> process name
+	events []pidEvent
+}
+
+type pidEvent struct {
+	pid int
+	ev  TraceEvent
+}
+
+// NewChromeTracer returns a tracer with a single anonymous process group.
+func NewChromeTracer() *ChromeTracer {
+	return &ChromeTracer{names: map[int]string{0: "sim"}}
+}
+
+// BeginProcess starts a new process group; subsequent events belong to it.
+func (c *ChromeTracer) BeginProcess(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.events) > 0 || c.pid > 0 {
+		c.pid++
+	}
+	c.names[c.pid] = name
+}
+
+// Emit records one event.
+func (c *ChromeTracer) Emit(ev TraceEvent) {
+	c.mu.Lock()
+	c.events = append(c.events, pidEvent{pid: c.pid, ev: ev})
+	c.mu.Unlock()
+}
+
+// Len reports the number of collected events.
+func (c *ChromeTracer) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+// chromeEvent is one entry of the trace-event format.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	Dur   *float64       `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// track identifies one thread row of the viewer.
+type track struct {
+	pid      int
+	node     int
+	category string
+}
+
+// categoryRank orders tracks within a node: query coordination first, then
+// the operator layer, then the hardware resources.
+func categoryRank(cat string) int {
+	switch cat {
+	case "query":
+		return 0
+	case "op":
+		return 1
+	case "cpu":
+		return 2
+	case "disk":
+		return 3
+	case "buffer":
+		return 4
+	case "net":
+		return 5
+	default:
+		return 6
+	}
+}
+
+func trackName(t track) string {
+	if t.node == NoNode {
+		return "host " + t.category
+	}
+	return "node" + itoa(t.node) + " " + t.category
+}
+
+// itoa avoids importing strconv for two-digit node ids on a cold path.
+func itoa(n int) string {
+	if n < 0 {
+		return "-" + itoa(-n)
+	}
+	if n < 10 {
+		return string(rune('0' + n))
+	}
+	return itoa(n/10) + string(rune('0'+n%10))
+}
+
+// WriteJSON renders everything collected so far as one Chrome trace file.
+func (c *ChromeTracer) WriteJSON(w io.Writer) error {
+	c.mu.Lock()
+	events := append([]pidEvent(nil), c.events...)
+	names := make(map[int]string, len(c.names))
+	for pid, name := range c.names {
+		names[pid] = name
+	}
+	c.mu.Unlock()
+
+	// Assign deterministic tids: host tracks first, then nodes ascending,
+	// categories in rank order within a node.
+	seen := map[track]bool{}
+	var tracks []track
+	for _, pe := range events {
+		t := track{pid: pe.pid, node: pe.ev.Node, category: pe.ev.Category}
+		if !seen[t] {
+			seen[t] = true
+			tracks = append(tracks, t)
+		}
+	}
+	sort.Slice(tracks, func(i, j int) bool {
+		a, b := tracks[i], tracks[j]
+		if a.pid != b.pid {
+			return a.pid < b.pid
+		}
+		// NoNode (host) sorts before node 0.
+		if a.node != b.node {
+			return a.node < b.node
+		}
+		if ra, rb := categoryRank(a.category), categoryRank(b.category); ra != rb {
+			return ra < rb
+		}
+		return a.category < b.category
+	})
+	tids := make(map[track]int, len(tracks))
+	for i, t := range tracks {
+		tids[t] = i
+	}
+
+	out := chromeFile{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	pids := make([]int, 0, len(names))
+	for pid := range names {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Phase: "M", PID: pid,
+			Args: map[string]any{"name": names[pid]},
+		})
+	}
+	for i, t := range tracks {
+		out.TraceEvents = append(out.TraceEvents,
+			chromeEvent{
+				Name: "thread_name", Phase: "M", PID: t.pid, TID: i,
+				Args: map[string]any{"name": trackName(t)},
+			},
+			chromeEvent{
+				Name: "thread_sort_index", Phase: "M", PID: t.pid, TID: i,
+				Args: map[string]any{"sort_index": i},
+			})
+	}
+
+	// Stable order for the viewer: sort spans by start time within a pid.
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].pid != events[j].pid {
+			return events[i].pid < events[j].pid
+		}
+		return events[i].ev.T < events[j].ev.T
+	})
+	for _, pe := range events {
+		ev := pe.ev
+		ce := chromeEvent{
+			Name: ev.Name,
+			Cat:  ev.Category,
+			TS:   float64(ev.T) / 1e3, // ns -> us
+			PID:  pe.pid,
+			TID:  tids[track{pid: pe.pid, node: ev.Node, category: ev.Category}],
+		}
+		if ev.QueryID != 0 || ev.Detail != "" {
+			ce.Args = map[string]any{}
+			if ev.QueryID != 0 {
+				ce.Args["query"] = ev.QueryID
+			}
+			if ev.Detail != "" {
+				ce.Args["detail"] = ev.Detail
+			}
+		}
+		switch ev.Kind {
+		case KindSpan:
+			ce.Phase = "X"
+			dur := float64(ev.Dur) / 1e3
+			ce.Dur = &dur
+		case KindBegin:
+			ce.Phase = "B"
+		case KindEnd:
+			ce.Phase = "E"
+		default:
+			ce.Phase = "i"
+			ce.Scope = "t"
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

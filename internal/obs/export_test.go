@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestChromeTracerJSON(t *testing.T) {
+	c := NewChromeTracer()
+	c.BeginProcess("magic")
+	c.Emit(TraceEvent{T: 0, Dur: 1_000_000, Node: 0, Kind: KindSpan, Category: "cpu", Name: "op", QueryID: 1})
+	c.Emit(TraceEvent{T: 500_000, Node: 0, Kind: KindInstant, Category: "net", Name: "packet"})
+	c.Emit(TraceEvent{T: 2_000_000, Dur: 3_000_000, Node: NoNode, Kind: KindSpan, Category: "query", Name: "q1", Detail: "5 tuples"})
+	c.BeginProcess("berd")
+	c.Emit(TraceEvent{T: 0, Dur: 500_000, Node: 2, Kind: KindSpan, Category: "disk", Name: "read p7"})
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", file.DisplayTimeUnit)
+	}
+
+	procNames := map[int]string{}
+	var spans, metas int
+	for _, ev := range file.TraceEvents {
+		switch ev.Phase {
+		case "M":
+			metas++
+			if ev.Name == "process_name" {
+				procNames[ev.PID] = ev.Args["name"].(string)
+			}
+		case "X":
+			spans++
+		}
+	}
+	if procNames[0] != "magic" || procNames[1] != "berd" {
+		t.Errorf("process names = %v", procNames)
+	}
+	if spans != 3 {
+		t.Errorf("span events = %d, want 3", spans)
+	}
+	if metas == 0 {
+		t.Error("no metadata events")
+	}
+	for _, ev := range file.TraceEvents {
+		if ev.Phase == "X" && ev.Name == "op" {
+			if ev.TS != 0 || ev.Dur != 1000 { // ns -> us
+				t.Errorf("span op ts/dur = %g/%g us", ev.TS, ev.Dur)
+			}
+			if ev.Args["query"].(float64) != 1 {
+				t.Errorf("span op query arg = %v", ev.Args["query"])
+			}
+		}
+		if ev.Phase == "X" && ev.Name == "q1" {
+			if ev.Args["detail"].(string) != "5 tuples" {
+				t.Errorf("detail arg = %v", ev.Args["detail"])
+			}
+		}
+	}
+}
+
+func TestChromeTracerDeterministicTIDs(t *testing.T) {
+	render := func() string {
+		c := NewChromeTracer()
+		// Emission order deliberately scrambled; tids must come out the
+		// same because assignment sorts (node, category rank).
+		c.Emit(TraceEvent{T: 3, Node: 1, Kind: KindSpan, Category: "disk", Name: "a"})
+		c.Emit(TraceEvent{T: 1, Node: 0, Kind: KindSpan, Category: "cpu", Name: "b"})
+		c.Emit(TraceEvent{T: 2, Node: NoNode, Kind: KindSpan, Category: "query", Name: "c"})
+		c.Emit(TraceEvent{T: 0, Node: 0, Kind: KindInstant, Category: "net", Name: "d"})
+		var buf bytes.Buffer
+		if err := c.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if render() != render() {
+		t.Fatal("ChromeTracer output not deterministic")
+	}
+}
+
+func TestChromeTracerConcurrentEmit(t *testing.T) {
+	// Multiple engines (harness workers) may share one tracer; Emit must be
+	// race-free. Run with -race to make this meaningful.
+	c := NewChromeTracer()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c.Emit(TraceEvent{T: int64(i), Node: g, Kind: KindSpan, Category: "cpu", Name: "w"})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() != 8*200 {
+		t.Fatalf("Len = %d, want %d", c.Len(), 8*200)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("concurrent trace not valid JSON")
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	s.Emit(TraceEvent{T: 10, Node: 2, Kind: KindSpan, Dur: 5, Category: "disk", Name: "read p1", QueryID: 3})
+	s.Emit(TraceEvent{T: 20, Node: NoNode, Kind: KindInstant, Category: "net", Name: "packet"})
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := bufio.NewScanner(&buf)
+	var lines []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0]["kind"] != "span" || lines[0]["name"] != "read p1" || lines[0]["query"].(float64) != 3 {
+		t.Errorf("first line = %v", lines[0])
+	}
+	if lines[1]["kind"] != "instant" || lines[1]["node"].(float64) != -1 {
+		t.Errorf("second line = %v", lines[1])
+	}
+	if _, hasDur := lines[1]["dur_ns"]; hasDur {
+		t.Error("instant event carries dur_ns")
+	}
+}
+
+func TestJSONLSinkRetainsFirstError(t *testing.T) {
+	s := NewJSONLSink(failWriter{})
+	s.Emit(TraceEvent{Name: "x"})
+	if s.Err() == nil {
+		t.Fatal("write error not retained")
+	}
+	first := s.Err()
+	s.Emit(TraceEvent{Name: "y"}) // must not clobber or panic
+	if s.Err() != first {
+		t.Fatal("first error not sticky")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, fmt.Errorf("disk full") }
+
+func TestMultiSinkFanOut(t *testing.T) {
+	var a, b []TraceEvent
+	m := MultiSink{
+		SinkFunc(func(ev TraceEvent) { a = append(a, ev) }),
+		SinkFunc(func(ev TraceEvent) { b = append(b, ev) }),
+	}
+	m.Emit(TraceEvent{Name: "x"})
+	if len(a) != 1 || len(b) != 1 {
+		t.Fatalf("fan-out reached %d/%d sinks", len(a), len(b))
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindInstant: "instant", KindBegin: "begin", KindEnd: "end",
+		KindSpan: "span", Kind(99): "unknown",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"math"
+	"sort"
+)
+
+// Growth is the histogram's per-bucket growth factor. Bucket i covers
+// [Growth^i, Growth^(i+1)); reporting a bucket's harmonic midpoint
+// 2*l*u/(l+u) equalizes the relative error toward both bucket edges and
+// bounds it by (Growth-1)/(Growth+1) — under 2.5% — while a full latency
+// range from nanoseconds to hours fits in a few hundred sparse buckets.
+const Growth = 1.05
+
+// MaxQuantileRelError is the histogram's worst-case relative error on any
+// quantile estimate of positive samples (see Growth).
+const MaxQuantileRelError = (Growth - 1) / (Growth + 1)
+
+var invLogGrowth = 1 / math.Log(Growth)
+
+// Histogram is a log-bucketed streaming histogram in the DDSketch family:
+// it records counts per exponential bucket instead of individual samples,
+// so p50/p90/p99 come out of O(buckets) memory with a bounded relative
+// error whatever the run length. Non-positive samples (a zero-length
+// service, say) are counted exactly in a dedicated zero bucket.
+type Histogram struct {
+	n       int64
+	sum     float64
+	min     float64
+	max     float64
+	zeros   int64 // samples <= 0
+	buckets map[int]int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{buckets: make(map[int]int64)}
+}
+
+// bucketIndex maps a positive value to its bucket.
+func bucketIndex(v float64) int {
+	return int(math.Floor(math.Log(v) * invLogGrowth))
+}
+
+// Observe records one sample. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if h.n == 0 {
+		h.min, h.max = v, v
+	} else {
+		if v < h.min {
+			h.min = v
+		}
+		if v > h.max {
+			h.max = v
+		}
+	}
+	h.n++
+	h.sum += v
+	if v <= 0 {
+		h.zeros++
+		return
+	}
+	h.buckets[bucketIndex(v)]++
+}
+
+// N reports the number of samples (0 on a nil receiver).
+func (h *Histogram) N() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Mean reports the exact sample mean (0 if empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Min reports the smallest sample (0 if empty).
+func (h *Histogram) Min() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.min
+}
+
+// Max reports the largest sample (0 if empty).
+func (h *Histogram) Max() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile estimates the p-th percentile (0..100). Estimates for positive
+// samples are within MaxQuantileRelError of the exact order statistic;
+// non-positive samples are reported as 0 exactly. Returns 0 if empty.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	rank := p / 100 * float64(h.n-1)
+	if rank < 0 {
+		rank = 0
+	}
+	if rank > float64(h.n-1) {
+		rank = float64(h.n - 1)
+	}
+	// The target sample is the one at index floor(rank) of the sorted
+	// series (nearest-rank; interpolation is below bucket resolution).
+	target := int64(rank)
+	if target < h.zeros {
+		return 0
+	}
+	cum := h.zeros
+	for _, i := range h.sortedBuckets() {
+		cum += h.buckets[i]
+		if target < cum {
+			// Harmonic midpoint of [G^i, G^(i+1)): 2*l*u/(l+u) = l*2G/(1+G),
+			// the point with equal relative error to both edges.
+			mid := math.Pow(Growth, float64(i)) * 2 * Growth / (1 + Growth)
+			// Clamp to the observed range: the extreme buckets are only
+			// partially occupied.
+			if mid < h.min {
+				mid = h.min
+			}
+			if mid > h.max {
+				mid = h.max
+			}
+			return mid
+		}
+	}
+	return h.max
+}
+
+func (h *Histogram) sortedBuckets() []int {
+	idx := make([]int, 0, len(h.buckets))
+	for i := range h.buckets {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	return idx
+}
+
+// Merge folds another histogram's samples into h. Bucket counts add, so
+// merging is associative and order-independent on all count-derived
+// statistics (quantiles, N, min, max). No-op when other is nil or empty.
+func (h *Histogram) Merge(other *Histogram) {
+	if h == nil || other == nil || other.n == 0 {
+		return
+	}
+	if h.n == 0 {
+		h.min, h.max = other.min, other.max
+	} else {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+	h.n += other.n
+	h.sum += other.sum
+	h.zeros += other.zeros
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+}
+
+// Reset discards all samples, keeping the handle valid.
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	h.n, h.sum, h.min, h.max, h.zeros = 0, 0, 0, 0, 0
+	for i := range h.buckets {
+		delete(h.buckets, i)
+	}
+}
+
+// Stats summarizes the histogram for snapshots.
+func (h *Histogram) Stats() HistogramStats {
+	if h == nil {
+		return HistogramStats{}
+	}
+	return HistogramStats{
+		N:    h.n,
+		Mean: h.Mean(),
+		Min:  h.min,
+		Max:  h.max,
+		P50:  h.Quantile(50),
+		P90:  h.Quantile(90),
+		P99:  h.Quantile(99),
+	}
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRegistryInterning(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("Counter not interned")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Error("Gauge not interned")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Error("Histogram not interned")
+	}
+	if r.Counter("a") == r.Counter("b") {
+		t.Error("distinct names share a counter")
+	}
+}
+
+func TestNilRegistrySafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry handed out non-nil handles")
+	}
+	// Every handle method must be a safe no-op.
+	c.Add(5)
+	c.Inc()
+	c.Reset()
+	g.Set(2)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.N() != 0 {
+		t.Fatal("nil handles not zero-valued")
+	}
+	r.Reset()
+	if s := r.Snapshot(); s.Counters != nil || s.Gauges != nil || s.Histograms != nil {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	if r.CounterNames() != nil {
+		t.Fatal("nil registry has counter names")
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reads").Add(3)
+	r.Gauge("util").Set(0.75)
+	h := r.Histogram("lat")
+	h.Observe(10)
+	h.Observe(20)
+
+	s := r.Snapshot()
+	if s.Counters["reads"] != 3 {
+		t.Errorf("counter snapshot = %d", s.Counters["reads"])
+	}
+	if s.Gauges["util"] != 0.75 {
+		t.Errorf("gauge snapshot = %g", s.Gauges["util"])
+	}
+	hs := s.Histograms["lat"]
+	if hs.N != 2 || hs.Min != 10 || hs.Max != 20 || hs.Mean != 15 {
+		t.Errorf("histogram snapshot = %+v", hs)
+	}
+
+	// The snapshot is a copy: later updates must not leak into it.
+	r.Counter("reads").Inc()
+	if s.Counters["reads"] != 3 {
+		t.Error("snapshot aliases live counter")
+	}
+}
+
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	c.Add(7)
+	g.Set(1)
+	h.Observe(5)
+
+	r.Reset()
+	if c.Value() != 0 || g.Value() != 0 || h.N() != 0 {
+		t.Fatal("reset left state behind")
+	}
+	// Handles fetched before the reset stay live — components keep their
+	// construction-time handles across warm-up discard.
+	c.Inc()
+	h.Observe(2)
+	if r.Counter("c").Value() != 1 || r.Histogram("h").N() != 1 {
+		t.Fatal("pre-reset handles detached from registry")
+	}
+}
+
+func TestCounterNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		r.Counter(n)
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	if got := r.CounterNames(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("CounterNames = %v, want %v", got, want)
+	}
+}

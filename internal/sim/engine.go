@@ -15,6 +15,8 @@ import (
 	"container/heap"
 	"fmt"
 	"runtime/debug"
+
+	"repro/internal/obs"
 )
 
 // Time is a point in simulated time, in nanoseconds since the start of the
@@ -90,9 +92,10 @@ type Engine struct {
 	yielded chan struct{}
 	stopped bool
 	err     error
-	active  int // processes spawned and not yet finished
-	parked  int // processes blocked with no scheduled event
-	trace   func(t Time, who, what string)
+	active  int           // processes spawned and not yet finished
+	parked  int           // processes blocked with no scheduled event
+	sink    obs.Sink      // structured trace sink; nil = tracing disabled
+	metrics *obs.Registry // metrics registry; nil = metrics disabled
 }
 
 // New returns an empty engine at time zero.
@@ -103,16 +106,46 @@ func New() *Engine {
 // Now reports the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
-// SetTrace installs a trace hook invoked on process and facility activity.
-// Pass nil to disable. Tracing is intended for the querytrace tool and tests.
-func (e *Engine) SetTrace(fn func(t Time, who, what string)) { e.trace = fn }
+// SetSink installs a structured trace sink receiving typed events from
+// facilities, hardware models and the execution layer. Pass nil to disable.
+// Tracing is intended for the querytrace tool and tests; the hot path pays
+// only a nil check when disabled.
+func (e *Engine) SetSink(s obs.Sink) { e.sink = s }
 
-// Tracef emits a trace record if tracing is enabled.
-func (e *Engine) Tracef(who, format string, args ...any) {
-	if e.trace != nil {
-		e.trace(e.now, who, fmt.Sprintf(format, args...))
+// Sink returns the installed trace sink, or nil.
+func (e *Engine) Sink() obs.Sink { return e.sink }
+
+// Tracing reports whether a trace sink is installed. Emitters use it to
+// skip event construction (and its string formatting) when tracing is off.
+func (e *Engine) Tracing() bool { return e.sink != nil }
+
+// Emit sends a trace event to the sink. The caller fills T (span starts
+// may lie in the past; EmitNow stamps the current time). No-op without a
+// sink.
+func (e *Engine) Emit(ev obs.TraceEvent) {
+	if e.sink == nil {
+		return
 	}
+	e.sink.Emit(ev)
 }
+
+// EmitNow sends a trace event stamped with the current simulated time.
+func (e *Engine) EmitNow(ev obs.TraceEvent) {
+	if e.sink == nil {
+		return
+	}
+	ev.T = int64(e.now)
+	e.sink.Emit(ev)
+}
+
+// SetMetrics attaches a metrics registry. Facilities and higher layers
+// fetch their metric handles from it at construction, so the registry must
+// be attached before the machine is built. Pass nil to disable (the
+// default): a nil registry hands out nil handles whose methods no-op.
+func (e *Engine) SetMetrics(r *obs.Registry) { e.metrics = r }
+
+// Metrics returns the attached registry, or nil when metrics are disabled.
+func (e *Engine) Metrics() *obs.Registry { return e.metrics }
 
 func (e *Engine) nextSeq() uint64 {
 	e.seq++
@@ -189,8 +222,9 @@ type Proc struct {
 	eng      *Engine
 	name     string
 	resume   chan struct{}
-	killed   bool // Kill was requested; unwind at next resume
-	finished bool // goroutine has exited (normally, by panic, or by Kill)
+	killed   bool  // Kill was requested; unwind at next resume
+	finished bool  // goroutine has exited (normally, by panic, or by Kill)
+	qid      int64 // query the process is currently working for (0 = none)
 }
 
 // Engine returns the engine this process belongs to.
@@ -201,6 +235,15 @@ func (p *Proc) Name() string { return p.name }
 
 // Now reports the current simulated time.
 func (p *Proc) Now() Time { return p.eng.now }
+
+// SetQID tags the process with the query it is currently serving; trace
+// events emitted for work this process requests (facility services, disk
+// transfers) carry the tag, tying resource activity back to queries. Zero
+// clears the tag.
+func (p *Proc) SetQID(id int64) { p.qid = id }
+
+// QID reports the process's current query tag (0 = none).
+func (p *Proc) QID() int64 { return p.qid }
 
 // Spawn creates a process that begins executing fn at the current time
 // (after already-scheduled events at this timestamp).

@@ -2,6 +2,8 @@ package sim
 
 import (
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestMillisecondsConversion(t *testing.T) {
@@ -237,10 +239,13 @@ func TestActiveAndParkedAccounting(t *testing.T) {
 	}
 }
 
-func TestTraceHook(t *testing.T) {
+func TestTraceSink(t *testing.T) {
 	e := New()
-	var lines []string
-	e.SetTrace(func(tm Time, who, what string) { lines = append(lines, who+": "+what) })
+	var events []obs.TraceEvent
+	e.SetSink(obs.SinkFunc(func(ev obs.TraceEvent) { events = append(events, ev) }))
+	if !e.Tracing() {
+		t.Fatal("Tracing() = false with a sink attached")
+	}
 	f := NewFacility(e, "cpu")
 	e.Spawn("p", func(p *Proc) {
 		f.Use(p, Millisecond)
@@ -248,9 +253,31 @@ func TestTraceHook(t *testing.T) {
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if len(lines) == 0 {
-		t.Fatal("no trace lines recorded")
+	if len(events) == 0 {
+		t.Fatal("no trace events recorded")
 	}
+	var spans int
+	for _, ev := range events {
+		if ev.Kind == obs.KindSpan && ev.Category == "facility" && ev.Name == "p" {
+			spans++
+			if ev.Dur != int64(Millisecond) {
+				t.Errorf("span dur = %d, want %d", ev.Dur, int64(Millisecond))
+			}
+		}
+	}
+	if spans != 1 {
+		t.Errorf("facility spans = %d, want 1", spans)
+	}
+}
+
+func TestNoSinkNoTrace(t *testing.T) {
+	e := New()
+	if e.Tracing() {
+		t.Fatal("Tracing() = true without a sink")
+	}
+	// Emit without a sink must be a safe no-op.
+	e.Emit(obs.TraceEvent{Name: "dropped"})
+	e.EmitNow(obs.TraceEvent{Name: "dropped"})
 }
 
 func TestNegativeHoldPanics(t *testing.T) {

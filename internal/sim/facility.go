@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -16,6 +17,11 @@ type Facility struct {
 	eng  *Engine
 	name string
 
+	// Observability identity: which node and resource class the facility
+	// belongs to (SetMeta). Defaults place it on no node as "facility".
+	node     int
+	category string
+
 	busy    bool
 	queue   []facRequest
 	nextSeq uint64
@@ -25,6 +31,11 @@ type Facility struct {
 	served  int64
 	svcTime stats.Accumulator // service durations, ms
 	wait    stats.Accumulator // queueing delays (excluding service), ms
+
+	// Registry handles (nil when the engine has no metrics registry; all
+	// methods no-op on nil).
+	waitH *obs.Histogram
+	svcH  *obs.Histogram
 }
 
 type facRequest struct {
@@ -33,18 +44,33 @@ type facRequest struct {
 	prio    int
 	seq     uint64
 	arrived Time
+	qid     int64
 }
 
-// NewFacility creates a facility attached to the engine.
+// NewFacility creates a facility attached to the engine. When the engine
+// carries a metrics registry, the facility registers "<name>.wait_ms" and
+// "<name>.service_ms" latency histograms separating queueing delay from
+// service time.
 func NewFacility(e *Engine, name string) *Facility {
-	f := &Facility{eng: e, name: name}
+	f := &Facility{eng: e, name: name, node: obs.NoNode, category: "facility"}
 	f.util.Set(float64(e.now), 0)
 	f.qlen.Set(float64(e.now), 0)
+	if reg := e.Metrics(); reg != nil {
+		f.waitH = reg.Histogram(name + ".wait_ms")
+		f.svcH = reg.Histogram(name + ".service_ms")
+	}
 	return f
 }
 
 // Name reports the facility name.
 func (f *Facility) Name() string { return f.name }
+
+// SetMeta records which node and resource category ("cpu", "net", ...) the
+// facility represents; trace events it emits land on that track.
+func (f *Facility) SetMeta(node int, category string) {
+	f.node = node
+	f.category = category
+}
 
 // Use requests service time from the facility at default priority and blocks
 // the calling process until the service completes.
@@ -57,7 +83,7 @@ func (f *Facility) UsePriority(p *Proc, service Duration, prio int) {
 		panic(fmt.Sprintf("sim: facility %s: negative service time", f.name))
 	}
 	f.nextSeq++
-	req := facRequest{p: p, service: service, prio: prio, seq: f.nextSeq, arrived: f.eng.now}
+	req := facRequest{p: p, service: service, prio: prio, seq: f.nextSeq, arrived: f.eng.now, qid: p.qid}
 	if f.busy {
 		f.enqueue(req)
 		f.qlen.Set(float64(f.eng.now), float64(len(f.queue)))
@@ -89,11 +115,20 @@ func (f *Facility) serve(req facRequest) {
 	f.busy = true
 	now := f.eng.now
 	f.util.Set(float64(now), 1)
-	f.wait.Add(Duration(now - req.arrived).Milliseconds())
-	f.eng.Tracef(f.name, "serve %s for %v (prio %d)", req.p.name, req.service, req.prio)
+	waitMS := Duration(now - req.arrived).Milliseconds()
+	f.wait.Add(waitMS)
+	f.waitH.Observe(waitMS)
 	f.eng.Schedule(req.service, func() {
 		f.served++
 		f.svcTime.Add(req.service.Milliseconds())
+		f.svcH.Observe(req.service.Milliseconds())
+		if f.eng.sink != nil {
+			f.eng.Emit(obs.TraceEvent{
+				T: int64(now), Dur: int64(req.service),
+				Node: f.node, Kind: obs.KindSpan, Category: f.category,
+				Name: req.p.name, QueryID: req.qid,
+			})
+		}
 		f.eng.Wake(req.p)
 		if len(f.queue) > 0 {
 			next := f.queue[0]
@@ -130,11 +165,14 @@ func (f *Facility) MeanWaitMS() float64 { return f.wait.Mean() }
 func (f *Facility) MeanServiceMS() float64 { return f.svcTime.Mean() }
 
 // ResetStats restarts utilization/queue-length averaging at the current time
-// and clears counters; used to discard warm-up transients.
+// and clears counters and registered histograms; used to discard warm-up
+// transients.
 func (f *Facility) ResetStats() {
 	f.util.ResetAt(float64(f.eng.now))
 	f.qlen.ResetAt(float64(f.eng.now))
 	f.served = 0
 	f.svcTime.Reset()
 	f.wait.Reset()
+	f.waitH.Reset()
+	f.svcH.Reset()
 }

@@ -105,6 +105,7 @@ type TimeWeighted struct {
 	started bool
 	lastT   float64
 	lastV   float64
+	firstV  float64
 	area    float64
 	total   float64
 	max     float64
@@ -117,6 +118,7 @@ func (w *TimeWeighted) Set(t, v float64) {
 	if !w.started {
 		w.started = true
 		w.originT = t
+		w.firstV = v
 	} else {
 		dt := t - w.lastT
 		w.area += w.lastV * dt
@@ -135,14 +137,25 @@ func (w *TimeWeighted) Adjust(t, delta float64) { w.Set(t, w.lastV+delta) }
 // Value reports the current value of the variable.
 func (w *TimeWeighted) Value() float64 { return w.lastV }
 
-// Mean reports the time average over [origin, t].
+// Mean reports the time average over [origin, t]. Before any Set it is 0;
+// at or before the origin it is the value first set (a zero-length window
+// has only that state). A t inside the recorded history (earlier than the
+// last Set) is clamped to it: the average covers [origin, lastT], since
+// per-interval history is not retained.
 func (w *TimeWeighted) Mean(t float64) float64 {
+	if !w.started {
+		return 0
+	}
+	if t <= w.originT {
+		return w.firstV
+	}
 	area, total := w.area, w.total
-	if w.started && t > w.lastT {
+	if t > w.lastT {
 		area += w.lastV * (t - w.lastT)
 		total += t - w.lastT
 	}
 	if total == 0 {
+		// Single Set so far and t did not advance past it.
 		return w.lastV
 	}
 	return area / total
@@ -238,10 +251,17 @@ func (b *BatchMeans) Percentile(p float64) float64 {
 		return c[len(c)-1]
 	}
 	rank := p / 100 * float64(len(c)-1)
+	// Snap ranks that are an integer up to floating-point error (e.g.
+	// p=30, n=11 gives 0.3*10 = 2.9999999999999996) so exact-rank
+	// percentiles return the sample itself instead of interpolating with
+	// a stray 1e-16 weight on a neighbor.
+	if r := math.Round(rank); math.Abs(rank-r) < 1e-9 {
+		rank = r
+	}
 	lo := int(rank)
 	frac := rank - float64(lo)
-	if lo+1 >= len(c) {
-		return c[len(c)-1]
+	if frac == 0 || lo+1 >= len(c) {
+		return c[lo]
 	}
 	return c[lo]*(1-frac) + c[lo+1]*frac
 }

@@ -291,3 +291,61 @@ func TestChartMismatchedSeriesPanics(t *testing.T) {
 	}()
 	NewChart("t", "x", "y").AddSeries("bad", []float64{1}, []float64{1, 2})
 }
+
+func TestPercentileExactRanks(t *testing.T) {
+	// n=11 samples 0..100 by 10: rank = p/100*10 is an exact integer at
+	// every multiple of 10, but e.g. 0.3*10 = 2.9999999999999996 in
+	// floating point. Exact-rank percentiles must return the sample itself.
+	var b BatchMeans
+	for i := 0; i <= 100; i += 10 {
+		b.Add(float64(i))
+	}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 0}, {10, 10}, {20, 20}, {30, 30}, {40, 40}, {50, 50},
+		{60, 60}, {70, 70}, {80, 80}, {90, 90}, {100, 100},
+		{25, 25}, {95, 95}, // interpolated midpoints still work
+	}
+	for _, c := range cases {
+		if got := b.Percentile(c.p); got != c.want {
+			t.Errorf("Percentile(%g) = %g, want exactly %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileSingleSample(t *testing.T) {
+	var b BatchMeans
+	b.Add(42)
+	for _, p := range []float64{0, 30, 50, 99, 100} {
+		if got := b.Percentile(p); got != 42 {
+			t.Errorf("Percentile(%g) = %g, want 42", p, got)
+		}
+	}
+}
+
+func TestTimeWeightedMeanEdgeCases(t *testing.T) {
+	var unset TimeWeighted
+	if got := unset.Mean(5); got != 0 {
+		t.Errorf("Mean before any Set = %g, want 0", got)
+	}
+
+	var w TimeWeighted
+	w.Set(10, 3) // origin
+	w.Set(20, 9)
+	cases := []struct {
+		name    string
+		t, want float64
+	}{
+		{"before origin", 5, 3},   // zero-length window holds the first value
+		{"at origin", 10, 3},      //
+		{"inside history", 15, 3}, // clamped to [10, 20]: only value 3 recorded
+		{"at last set", 20, 3},    // [10,20) was all value 3
+		{"past last set", 30, 6},  // (10*3 + 10*9) / 20
+	}
+	for _, c := range cases {
+		if got := w.Mean(c.t); !almost(got, c.want, 1e-12) {
+			t.Errorf("%s: Mean(%g) = %g, want %g", c.name, c.t, got, c.want)
+		}
+	}
+}
