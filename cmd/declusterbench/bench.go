@@ -1,0 +1,225 @@
+package main
+
+// Kernel microbenchmark mode (-bench-out): runs the simulation kernel's
+// fast-path benchmarks — the same shapes internal/sim's go-test benchmarks
+// measure — through testing.Benchmark and archives the results as JSON next
+// to figure archives. The suite rides the harness machinery: each benchmark
+// is one harness job, so the report carries the usual environment snapshot
+// and per-job manifest, making committed baselines comparable across
+// machines and Go releases.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/sim"
+)
+
+// BenchResult is one benchmark's archived measurement.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// BenchReport is the JSON document -bench-out writes.
+type BenchReport struct {
+	Label      string           `json:"label"`
+	Env        harness.Env      `json:"env"`
+	Benchmarks []BenchResult    `json:"benchmarks"`
+	Manifest   harness.Manifest `json:"manifest"`
+}
+
+// kernelBenchmarks is the committed-baseline suite: one entry per kernel
+// fast path. Kept in sync with internal/sim's benchmarks by name.
+func kernelBenchmarks() []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	return []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"EventThroughput", benchEventThroughput},
+		{"FacilityContention", benchFacilityContention},
+		{"MailboxPingPong", benchMailboxPingPong},
+		{"ScheduleCallback", benchScheduleCallback},
+		{"ScheduleHandler", benchScheduleHandler},
+		{"ReadyRingWake", benchReadyRingWake},
+		{"SpanDisabled", benchSpanDisabled},
+	}
+}
+
+func benchEventThroughput(b *testing.B) {
+	e := sim.New()
+	e.Spawn("p", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Hold(sim.Microsecond)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func benchFacilityContention(b *testing.B) {
+	e := sim.New()
+	f := sim.NewFacility(e, "cpu")
+	per := b.N/16 + 1
+	for w := 0; w < 16; w++ {
+		e.Spawn("w", func(p *sim.Proc) {
+			for i := 0; i < per; i++ {
+				f.Use(p, sim.Microsecond)
+			}
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func benchMailboxPingPong(b *testing.B) {
+	e := sim.New()
+	ping := sim.NewMailbox[int](e, "ping")
+	pong := sim.NewMailbox[int](e, "pong")
+	e.Spawn("a", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			ping.Put(i)
+			pong.Get(p)
+		}
+	})
+	e.Spawn("b", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			ping.Get(p)
+			pong.Put(i)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func benchScheduleCallback(b *testing.B) {
+	e := sim.New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(sim.Microsecond, fn)
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type benchTick struct{ n int }
+
+func (h *benchTick) HandleEvent() { h.n++ }
+
+func benchScheduleHandler(b *testing.B) {
+	e := sim.New()
+	h := &benchTick{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleHandler(sim.Microsecond, h)
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchReadyRingWake(b *testing.B) {
+	e := sim.New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(0, fn)
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchSpanDisabled(b *testing.B) {
+	e := sim.New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := e.StartSpan()
+		s.End(0, "cat", "name", 0, "")
+	}
+}
+
+// runBenchSuite executes the kernel suite serially (Workers: 1 — benchmarks
+// must not contend with each other) and writes the JSON report to path.
+func runBenchSuite(path string) error {
+	suite := kernelBenchmarks()
+	jobs := make([]harness.Job, len(suite))
+	results := make([]BenchResult, len(suite))
+	for i, bm := range suite {
+		i, bm := i, bm
+		jobs[i] = harness.Job{
+			ID: "simbench/" + bm.name,
+			Run: func() (any, error) {
+				r := testing.Benchmark(bm.fn)
+				if r.N == 0 {
+					return nil, fmt.Errorf("benchmark %s did not run", bm.name)
+				}
+				results[i] = BenchResult{
+					Name:        bm.name,
+					Iterations:  r.N,
+					NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+					AllocsPerOp: r.AllocsPerOp(),
+					BytesPerOp:  r.AllocedBytesPerOp(),
+				}
+				return nil, nil
+			},
+		}
+	}
+	_, manifest := harness.Execute(jobs, harness.Options{
+		Workers:  1,
+		Progress: os.Stderr,
+		Label:    "simbench",
+	})
+	if err := manifest.Err(); err != nil {
+		return err
+	}
+	report := BenchReport{
+		Label:      "simbench",
+		Env:        harness.CaptureEnv(),
+		Benchmarks: results,
+		Manifest:   manifest,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", path, len(results))
+	for _, r := range results {
+		fmt.Printf("%-24s %12d iters %12.1f ns/op %6d B/op %5d allocs/op\n",
+			r.Name, r.Iterations, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	return nil
+}

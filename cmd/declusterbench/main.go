@@ -26,6 +26,9 @@
 //	-node-stats      print each strategy's per-node utilization table at the
 //	                 highest MPL of the sweep (execution-skew breakdown)
 //	-csv             emit CSV instead of aligned tables
+//	-bench-out FILE  run the simulation-kernel microbenchmark suite and
+//	                 write a JSON report (combine with -fig none to run
+//	                 benchmarks alone)
 //
 // Profiling the simulator itself:
 //
@@ -76,6 +79,7 @@ func run() int {
 		csv         = flag.Bool("csv", false, "emit CSV")
 		scaleout    = flag.Bool("scaleout", false, "run the machine-size sweep too")
 		nodeStats   = flag.Bool("node-stats", false, "print per-node utilization tables (highest MPL)")
+		benchOut    = flag.String("bench-out", "", "run the kernel microbenchmark suite and write a JSON report")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a pprof heap profile to this file")
 		httpPprof   = flag.String("httppprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -135,6 +139,13 @@ func run() int {
 	}
 
 	exit := 0
+	if *benchOut != "" {
+		fmt.Fprintln(os.Stderr, "running kernel microbenchmark suite...")
+		if err := runBenchSuite(*benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "declusterbench:", err)
+			exit = 1
+		}
+	}
 	archive := experiments.Archive{Label: "declusterbench", Options: opts}
 	var manifests []harness.Manifest
 

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/storage"
+)
+
+// StrategyParams carries everything a registered strategy builder may need.
+// Simple strategies read only Relation/Processors/PrimaryAttr; BERD adds
+// SecondaryAttrs; MAGIC additionally consumes the planning inputs (Specs,
+// Plan, Magic), which the caller estimates from its workload — core stays
+// workload-agnostic.
+type StrategyParams struct {
+	// Relation is the relation being declustered. Builders that derive
+	// value distributions (range, BERD, MAGIC) require it.
+	Relation *storage.Relation
+	// Processors is the machine size the placement is built for.
+	Processors int
+	// PrimaryAttr is the primary partitioning attribute.
+	PrimaryAttr int
+	// SecondaryAttrs are the additional attributes multi-attribute
+	// strategies cover (BERD's auxiliary relations, MAGIC's extra grid
+	// dimensions).
+	SecondaryAttrs []int
+	// Specs are the workload's per-query-class resource estimates MAGIC
+	// plans from (Section 3.2's QAve model inputs).
+	Specs []QuerySpec
+	// Plan are the planning-model system constants.
+	Plan PlanParams
+	// Magic optionally tunes MAGIC construction; nil uses the defaults.
+	Magic *MagicOptions
+}
+
+// StrategyBuilder constructs a placement from the parameters. Builders must
+// validate what they consume and return an error — never panic — on
+// missing inputs.
+type StrategyBuilder func(StrategyParams) (Placement, error)
+
+// strategyRegistry maps strategy names to builders. Strategies self-register
+// from init functions in their defining files; tests and external packages
+// may add more through RegisterStrategy.
+var strategyRegistry = map[string]StrategyBuilder{}
+
+// RegisterStrategy adds a named strategy builder. Registering an empty name,
+// a nil builder, or a duplicate name panics: registration happens at init
+// time, where a bad registration is a programming error.
+func RegisterStrategy(name string, b StrategyBuilder) {
+	if name == "" {
+		panic("core: RegisterStrategy with empty name")
+	}
+	if b == nil {
+		panic(fmt.Sprintf("core: RegisterStrategy(%q) with nil builder", name))
+	}
+	if _, dup := strategyRegistry[name]; dup {
+		panic(fmt.Sprintf("core: strategy %q already registered", name))
+	}
+	strategyRegistry[name] = b
+}
+
+// BuildStrategy constructs the named strategy. An unknown name yields an
+// error listing every registered strategy.
+func BuildStrategy(name string, p StrategyParams) (Placement, error) {
+	b, ok := strategyRegistry[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown strategy %q (registered: %s)",
+			name, strings.Join(Strategies(), ", "))
+	}
+	return b(p)
+}
+
+// Strategies returns the registered strategy names, sorted.
+func Strategies() []string {
+	out := make([]string, 0, len(strategyRegistry))
+	for name := range strategyRegistry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// needRelation is the shared guard for builders that derive value
+// distributions from the relation.
+func needRelation(name string, p StrategyParams) error {
+	if p.Relation == nil {
+		return fmt.Errorf("core: %s strategy requires a relation", name)
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// The five shipped strategies must self-register.
+func TestRegistryShippedStrategies(t *testing.T) {
+	got := Strategies()
+	for _, want := range []string{"berd", "hash", "magic", "range", "roundrobin"} {
+		i := sort.SearchStrings(got, want)
+		if i >= len(got) || got[i] != want {
+			t.Errorf("strategy %q not registered (have %v)", want, got)
+		}
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Errorf("Strategies() not sorted: %v", got)
+	}
+}
+
+func TestRegistryUnknownStrategyListsNames(t *testing.T) {
+	_, err := BuildStrategy("nope", StrategyParams{Processors: 4})
+	if err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	for _, name := range Strategies() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list registered strategy %q", err, name)
+		}
+	}
+}
+
+func TestRegistryRegistrationErrors(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("empty name", func() { RegisterStrategy("", func(StrategyParams) (Placement, error) { return nil, nil }) })
+	mustPanic("nil builder", func() { RegisterStrategy("x", nil) })
+	mustPanic("duplicate", func() { RegisterStrategy("hash", func(StrategyParams) (Placement, error) { return nil, nil }) })
+}
+
+// Builders that derive value distributions must reject a missing relation
+// with an error, not a panic.
+func TestRegistryMissingRelation(t *testing.T) {
+	for _, name := range []string{"range", "berd", "magic"} {
+		if _, err := BuildStrategy(name, StrategyParams{Processors: 4, PrimaryAttr: storage.Unique1}); err == nil {
+			t.Errorf("%s accepted a nil relation", name)
+		}
+	}
+}
+
+// Relation-free strategies build from parameters alone and match direct
+// construction.
+func TestRegistryRelationFreeStrategies(t *testing.T) {
+	hash, err := BuildStrategy("hash", StrategyParams{Processors: 8, PrimaryAttr: storage.Unique1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := BuildStrategy("roundrobin", StrategyParams{Processors: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := NewHash(storage.Unique1, 8)
+	for v := int64(0); v < 100; v++ {
+		tp := storage.Tuple{}
+		tp.Attrs[storage.Unique1] = v
+		if hash.HomeOf(tp) != direct.HomeOf(tp) {
+			t.Fatalf("hash HomeOf(%d) = %d, direct = %d", v, hash.HomeOf(tp), direct.HomeOf(tp))
+		}
+	}
+	if rr.Processors() != 8 || hash.Processors() != 8 {
+		t.Fatalf("processors: rr=%d hash=%d", rr.Processors(), hash.Processors())
+	}
+}

@@ -143,6 +143,7 @@ func (h *Host) ExecuteOn(p *sim.Proc, relation string, pred core.Predicate, acce
 	}
 	h.nextQID++
 	qid := h.nextQID
+	qspan := h.eng.StartSpan()
 	res := QueryResult{ID: qid, Pred: pred, Submitted: p.Now()}
 	mb := sim.NewMailbox[any](h.eng, fmt.Sprintf("host.q%d", qid))
 	h.pending[qid] = mb
@@ -166,7 +167,7 @@ func (h *Host) ExecuteOn(p *sim.Proc, relation string, pred core.Predicate, acce
 
 	// BERD two-step: consult the auxiliary relation first.
 	if len(route.Aux) > 0 {
-		auxStart := p.Now()
+		auxSpan := h.eng.StartSpan()
 		for _, node := range route.Aux {
 			used[node] = true
 			h.net.Send(p, nil, hw.Message{
@@ -189,19 +190,14 @@ func (h *Host) ExecuteOn(p *sim.Proc, relation string, pred core.Predicate, acce
 		// Map iteration order is randomized; keep the schedule (and hence
 		// the whole simulation) deterministic.
 		sort.Ints(participants)
-		if h.eng.Tracing() {
-			h.eng.Emit(obs.TraceEvent{
-				T: int64(auxStart), Dur: int64(p.Now() - auxStart),
-				Node: obs.NoNode, Kind: obs.KindSpan, Category: "query",
-				Name:    fmt.Sprintf("q%d aux phase", qid),
-				QueryID: qid,
-				Detail:  fmt.Sprintf("%d aux nodes -> %d operators", len(route.Aux), len(participants)),
-			})
+		if auxSpan.Active() {
+			auxSpan.End(obs.NoNode, "query", fmt.Sprintf("q%d aux phase", qid), qid,
+				fmt.Sprintf("%d aux nodes -> %d operators", len(route.Aux), len(participants)))
 		}
 	}
 
 	// Scheduler: start one operator per participant.
-	opStart := p.Now()
+	opSpan := h.eng.StartSpan()
 	for _, node := range participants {
 		used[node] = true
 		op := startOp{QueryID: qid, Relation: relation, Pred: pred, ReplyTo: h.ID, Access: access(pred)}
@@ -225,22 +221,14 @@ func (h *Host) ExecuteOn(p *sim.Proc, relation string, pred core.Predicate, acce
 	h.completedC.Inc()
 	h.fanoutH.Observe(float64(res.ProcessorsUsed))
 	h.respH.Observe(res.ResponseMS())
-	if h.eng.Tracing() {
-		h.eng.Emit(obs.TraceEvent{
-			T: int64(opStart), Dur: int64(res.Completed - opStart),
-			Node: obs.NoNode, Kind: obs.KindSpan, Category: "query",
-			Name:    fmt.Sprintf("q%d operator phase", qid),
-			QueryID: qid,
-			Detail:  fmt.Sprintf("%d participants", len(participants)),
-		})
-		h.eng.Emit(obs.TraceEvent{
-			T: int64(res.Submitted), Dur: int64(res.Completed - res.Submitted),
-			Node: obs.NoNode, Kind: obs.KindSpan, Category: "query",
-			Name:    fmt.Sprintf("q%d %s", qid, relation),
-			QueryID: qid,
-			Detail: fmt.Sprintf("%d tuples, %d processors (%d aux)",
-				res.Tuples, res.ProcessorsUsed, res.AuxProcessors),
-		})
+	if opSpan.Active() {
+		opSpan.End(obs.NoNode, "query", fmt.Sprintf("q%d operator phase", qid), qid,
+			fmt.Sprintf("%d participants", len(participants)))
+	}
+	if qspan.Active() {
+		qspan.End(obs.NoNode, "query", fmt.Sprintf("q%d %s", qid, relation), qid,
+			fmt.Sprintf("%d tuples, %d processors (%d aux)",
+				res.Tuples, res.ProcessorsUsed, res.AuxProcessors))
 	}
 	return res
 }

@@ -156,7 +156,7 @@ func (n *Node) Start() {
 // the scheduler. The final result message doubles as the completion signal.
 func (n *Node) runSelect(p *sim.Proc, req startOp) {
 	p.SetQID(req.QueryID)
-	start := p.Now()
+	span := n.eng.StartSpan()
 	frag := n.fragment(req.Relation)
 	var acc storage.Access
 	switch req.Access {
@@ -182,14 +182,9 @@ func (n *Node) runSelect(p *sim.Proc, req startOp) {
 		From: n.ID, To: req.ReplyTo, Bytes: bytes,
 		Payload: opResult{QueryID: req.QueryID, Node: n.ID, Tuples: len(acc.Tuples)},
 	})
-	if n.eng.Tracing() {
-		n.eng.Emit(obs.TraceEvent{
-			T: int64(start), Dur: int64(p.Now() - start),
-			Node: n.ID, Kind: obs.KindSpan, Category: "op",
-			Name:    "select " + req.Access.String(),
-			QueryID: req.QueryID,
-			Detail:  fmt.Sprintf("%d tuples", len(acc.Tuples)),
-		})
+	if span.Active() {
+		span.End(n.ID, "op", "select "+req.Access.String(), req.QueryID,
+			fmt.Sprintf("%d tuples", len(acc.Tuples)))
 	}
 }
 
@@ -197,7 +192,7 @@ func (n *Node) runSelect(p *sim.Proc, req startOp) {
 // auxiliary relation and return the home processors of qualifying tuples.
 func (n *Node) runAuxLookup(p *sim.Proc, req auxLookup) {
 	p.SetQID(req.QueryID)
-	start := p.Now()
+	span := n.eng.StartSpan()
 	aux := n.aux[req.Relation][req.Pred.Attr]
 	if aux == nil {
 		panic(fmt.Sprintf("exec: node %d has no aux relation for %q attr %d",
@@ -220,14 +215,9 @@ func (n *Node) runAuxLookup(p *sim.Proc, req auxLookup) {
 		From: n.ID, To: req.ReplyTo, Bytes: bytes,
 		Payload: auxResult{QueryID: req.QueryID, Node: n.ID, TIDsByProc: byProc, Entries: len(procs)},
 	})
-	if n.eng.Tracing() {
-		n.eng.Emit(obs.TraceEvent{
-			T: int64(start), Dur: int64(p.Now() - start),
-			Node: n.ID, Kind: obs.KindSpan, Category: "op",
-			Name:    "aux-lookup",
-			QueryID: req.QueryID,
-			Detail:  fmt.Sprintf("%d entries", len(procs)),
-		})
+	if span.Active() {
+		span.End(n.ID, "op", "aux-lookup", req.QueryID,
+			fmt.Sprintf("%d entries", len(procs)))
 	}
 }
 

@@ -43,18 +43,6 @@ type Campaign struct {
 	Manifest harness.Manifest
 }
 
-// machineConfig resolves the gamma configuration an experiment run uses,
-// honoring an explicit Options.Config override the way Run always has.
-func (o Options) machineConfig() gamma.Config {
-	if o.Config != nil {
-		cfg := *o.Config
-		cfg.HW.NumProcessors = o.Processors
-		cfg.Seed = o.Seed
-		return cfg
-	}
-	return ConfigFor(o)
-}
-
 // relKey identifies one generated relation; figures agreeing on all three
 // fields share a single build.
 type relKey struct {
@@ -154,7 +142,7 @@ func pointJob(fb figureBuild, strategy string, pl core.Placement, mpl int, cfg g
 // are returned, and the combined failure surfaces as the returned error.
 func RunCampaign(figs []Figure, opts Options, copts CampaignOptions) (Campaign, error) {
 	opts = opts.withDefaults()
-	cfg := opts.machineConfig()
+	cfg := ConfigFor(opts)
 
 	// Build phase, serial: generate each distinct relation once and each
 	// placement once per (figure, strategy). Everything built here is

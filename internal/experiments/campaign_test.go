@@ -161,7 +161,7 @@ func TestSeedZeroExplicit(t *testing.T) {
 	if o.Seed != 0 {
 		t.Fatalf("explicit seed 0 remapped to %d", o.Seed)
 	}
-	if cfg := o.machineConfig(); cfg.Seed != 0 {
+	if cfg := ConfigFor(o); cfg.Seed != 0 {
 		t.Fatalf("machine config seed = %d, want 0", cfg.Seed)
 	}
 }

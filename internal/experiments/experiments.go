@@ -185,40 +185,47 @@ type FigureResult struct {
 	Notes []string
 }
 
-// BuildPlacement constructs the named strategy for a relation, planning
-// MAGIC from the mix's estimated resource requirements.
+// BuildPlacement constructs the named strategy for a relation through the
+// core strategy registry, estimating MAGIC's planning inputs from the mix.
+// Strategies register themselves with core.RegisterStrategy, so a new
+// strategy becomes runnable here (and in declusterbench) without touching
+// this package; an unknown name reports every registered strategy.
 func BuildPlacement(name string, rel *storage.Relation, mix workload.Mix, opts Options) (core.Placement, error) {
 	opts = opts.withDefaults()
 	cfg := gamma.DefaultConfig()
 	if opts.Config != nil {
 		cfg = *opts.Config
 	}
-	switch name {
-	case StrategyRange:
-		return core.NewRangeForRelation(rel, storage.Unique1, opts.Processors), nil
-	case StrategyHash:
-		return core.NewHash(storage.Unique1, opts.Processors), nil
-	case StrategyRoundRobin:
-		return core.NewRoundRobin(opts.Processors), nil
-	case StrategyBERD:
-		return core.NewBERDForRelation(rel, storage.Unique1, []int{storage.Unique2}, opts.Processors), nil
-	case StrategyMAGIC:
-		specs := workload.EstimateSpecs(mix, rel.Cardinality(), cfg.HW, cfg.Costs)
-		pp := workload.PlanParamsFor(rel.Cardinality(), opts.Processors, cfg.Costs)
-		return core.BuildMAGIC(rel, []int{storage.Unique1, storage.Unique2}, specs, pp, nil)
-	default:
-		return nil, fmt.Errorf("experiments: unknown strategy %q", name)
+	params := core.StrategyParams{
+		Relation:       rel,
+		Processors:     opts.Processors,
+		PrimaryAttr:    storage.Unique1,
+		SecondaryAttrs: []int{storage.Unique2},
 	}
+	if rel != nil {
+		params.Specs = workload.EstimateSpecs(mix, rel.Cardinality(), cfg.HW, cfg.Costs)
+		params.Plan = workload.PlanParamsFor(rel.Cardinality(), opts.Processors, cfg.Costs)
+	}
+	return core.BuildStrategy(name, params)
 }
 
 // ConfigFor returns the machine configuration an experiment with these
-// options uses when no explicit override is given: the Table 2 defaults,
-// with the buffer pool sized to the per-node index footprint (plus a small
+// options uses. An explicit Options.Config override wins: it is returned
+// with only the knobs Options itself carries — the processor count and the
+// seed — stamped on top, the same precedence RunCampaign has always
+// applied. Without an override the result is the Table 2 defaults, with
+// the buffer pool sized to the per-node index footprint (plus a small
 // margin) whatever the relation scale — index pages stay resident while
 // data pages pay I/O, which is the paper's cost regime. At paper scale this
 // reproduces the default 24 pages.
 func ConfigFor(opts Options) gamma.Config {
 	opts = opts.withDefaults()
+	if opts.Config != nil {
+		cfg := *opts.Config
+		cfg.HW.NumProcessors = opts.Processors
+		cfg.Seed = opts.Seed
+		return cfg
+	}
 	cfg := gamma.DefaultConfig()
 	leafCap := cfg.Layout.IndexLeafCap
 	perNode := (opts.Cardinality + opts.Processors*leafCap - 1) / (opts.Processors * leafCap)

@@ -31,6 +31,8 @@ type Disk struct {
 	queue   []diskReq
 	nextSeq uint64
 	busy    bool
+	cur     diskReq  // request the arm is serving (valid while busy)
+	curSpan sim.Span // trace interval of the in-flight transfer
 
 	headCyl  int
 	dirUp    bool
@@ -108,17 +110,18 @@ func (d *Disk) access(p *sim.Proc, physPage int, write bool) {
 }
 
 // startNext picks the next request per the elevator policy and runs it.
-// Must only be called while busy with a non-empty queue.
+// Must only be called while busy with a non-empty queue. The in-flight
+// request lives in d.cur and completion is scheduled through the engine's
+// Handler path, so a transfer allocates no per-request closure.
 func (d *Disk) startNext() {
 	idx := d.pickElevator()
 	req := d.queue[idx]
 	d.queue = append(d.queue[:idx], d.queue[idx+1:]...)
 
-	start := d.eng.Now()
 	t := d.serviceTime(req.physPage)
 	d.svc.Add(t.Milliseconds())
 	d.svcH.Observe(t.Milliseconds())
-	waitMS := sim.Duration(start - req.arrived).Milliseconds()
+	waitMS := sim.Duration(d.eng.Now() - req.arrived).Milliseconds()
 	d.wait.Add(waitMS)
 	d.waitH.Observe(waitMS)
 	d.headCyl = d.params.Cylinder(req.physPage)
@@ -128,24 +131,30 @@ func (d *Disk) startNext() {
 	} else {
 		d.reads++
 	}
-	d.eng.Schedule(t, func() {
-		if d.eng.Tracing() {
-			d.eng.Emit(obs.TraceEvent{
-				T: int64(start), Dur: int64(t),
-				Node: d.node, Kind: obs.KindSpan, Category: "disk",
-				Name:    fmt.Sprintf("%s p%d", verb(req.write), req.physPage),
-				QueryID: req.qid,
-				Detail:  fmt.Sprintf("cyl %d", d.params.Cylinder(req.physPage)),
-			})
-		}
-		d.eng.Wake(req.p)
-		if len(d.queue) > 0 {
-			d.startNext()
-		} else {
-			d.busy = false
-			d.util.Set(float64(d.eng.Now()), 0)
-		}
-	})
+	d.cur = req
+	d.curSpan = d.eng.StartSpan()
+	d.eng.ScheduleHandler(t, d)
+}
+
+// HandleEvent completes the in-flight transfer: it emits the transfer's
+// trace span, wakes the owner, and starts the next queued request. It
+// implements the engine's Handler interface and is not meant to be called
+// directly.
+func (d *Disk) HandleEvent() {
+	req := d.cur
+	if d.curSpan.Active() {
+		d.curSpan.End(d.node, "disk",
+			fmt.Sprintf("%s p%d", verb(req.write), req.physPage), req.qid,
+			fmt.Sprintf("cyl %d", d.params.Cylinder(req.physPage)))
+	}
+	d.eng.Wake(req.p)
+	if len(d.queue) > 0 {
+		d.startNext()
+	} else {
+		d.busy = false
+		d.cur = diskReq{}
+		d.util.Set(float64(d.eng.Now()), 0)
+	}
 }
 
 func verb(write bool) string {

@@ -11,6 +11,7 @@ func BenchmarkEventThroughput(b *testing.B) {
 			p.Hold(Microsecond)
 		}
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	if err := e.Run(); err != nil {
 		b.Fatal(err)
@@ -30,6 +31,7 @@ func BenchmarkFacilityContention(b *testing.B) {
 			}
 		})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	if err := e.Run(); err != nil {
 		b.Fatal(err)
@@ -53,8 +55,70 @@ func BenchmarkMailboxPingPong(b *testing.B) {
 			pong.Put(i)
 		}
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	if err := e.Run(); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkScheduleCallback measures the pooled schedule/dispatch cycle for
+// future-dated callback events (heap path), with no process switches.
+func BenchmarkScheduleCallback(b *testing.B) {
+	e := New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Microsecond, fn)
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduleHandler measures the closure-free handler path used by
+// facilities and disks for their service-completion timers.
+func BenchmarkScheduleHandler(b *testing.B) {
+	e := New()
+	h := &benchHandler{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleHandler(Microsecond, h)
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type benchHandler struct{ n int }
+
+func (h *benchHandler) HandleEvent() { h.n++ }
+
+// BenchmarkReadyRingWake measures the zero-delay scheduling shape every
+// Wake takes: ring push, no heap sift.
+func BenchmarkReadyRingWake(b *testing.B) {
+	e := New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(0, fn)
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpanDisabled measures the tracing-off span path, which must be a
+// single branch.
+func BenchmarkSpanDisabled(b *testing.B) {
+	e := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := e.StartSpan()
+		s.End(0, "cat", "name", 0, "")
 	}
 }

@@ -12,7 +12,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"runtime/debug"
 
@@ -55,40 +54,54 @@ func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
 func (t Time) String() string     { return fmt.Sprintf("%.3fms", t.Milliseconds()) }
 func (d Duration) String() string { return fmt.Sprintf("%.3fms", d.Milliseconds()) }
 
-// event is a heap entry: either resume a parked process or run a callback.
+// event is a pooled scheduler record: it resumes a parked process, runs a
+// callback closure, or invokes a Handler. Records live in the engine's pool
+// and are addressed by index; the heap and ready ring order indices, never
+// records, so scheduling allocates nothing once the pool is warm.
 type event struct {
 	t   Time
 	seq uint64
 	p   *Proc
 	fn  func()
+	h   Handler
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+// Handler is the closure-free scheduling target: components with a single
+// outstanding timer (a facility's in-service completion, a disk transfer)
+// implement it and schedule themselves with ScheduleHandler, storing two
+// interface words in the pooled event record instead of allocating a new
+// closure per request.
+type Handler interface {
+	// HandleEvent runs when the scheduled time arrives, in event order,
+	// exactly like a Schedule callback.
+	HandleEvent()
 }
 
 // Engine is the simulation kernel. Create one with New, spawn processes,
 // then call Run or RunUntil. An Engine is single-threaded by construction
 // and must not be shared across goroutines other than its own processes.
 type Engine struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
+	now Time
+	seq uint64
+
+	// Event storage: pool is the record arena, free holds recycled slots,
+	// eheap orders future events by (time, seq), and ready is a FIFO ring of
+	// events due at the current instant. Wake-ups and zero-delay schedules
+	// go to the ring — an O(1) append with no heap sift — which is safe
+	// because a record due "now" always carries a larger sequence number
+	// than any same-time record already in the heap, and the clock cannot
+	// advance while the ring is non-empty.
+	pool   []event
+	free   []int32
+	eheap  []int32
+	ready  []int32 // power-of-two ring buffer
+	rhead  int
+	rcount int
+
+	// deadline is the active RunUntil horizon, visible to the Hold fast
+	// path so a self-advancing process never runs past it.
+	deadline Time
+
 	yielded chan struct{}
 	stopped bool
 	err     error
@@ -152,12 +165,121 @@ func (e *Engine) nextSeq() uint64 {
 	return e.seq
 }
 
-// schedule pushes an event onto the heap.
+// alloc places ev in a pooled record and returns its index.
+func (e *Engine) alloc(ev event) int32 {
+	if n := len(e.free) - 1; n >= 0 {
+		idx := e.free[n]
+		e.free = e.free[:n]
+		e.pool[idx] = ev
+		return idx
+	}
+	e.pool = append(e.pool, ev)
+	return int32(len(e.pool) - 1)
+}
+
+// release clears a record (dropping its closure/process references) and
+// returns its slot to the free list.
+func (e *Engine) release(idx int32) {
+	e.pool[idx] = event{}
+	e.free = append(e.free, idx)
+}
+
+// less orders pooled records by (time, sequence).
+func (e *Engine) less(a, b int32) bool {
+	ea, eb := &e.pool[a], &e.pool[b]
+	if ea.t != eb.t {
+		return ea.t < eb.t
+	}
+	return ea.seq < eb.seq
+}
+
+// heapPush inserts a record index into the future-event heap.
+func (e *Engine) heapPush(idx int32) {
+	h := append(e.eheap, idx)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.eheap = h
+}
+
+// heapPop removes and returns the minimum record index.
+func (e *Engine) heapPop() int32 {
+	h := e.eheap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && e.less(h[r], h[l]) {
+			c = r
+		}
+		if !e.less(h[c], h[i]) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+	e.eheap = h
+	return top
+}
+
+// readyPush appends a record index to the current-instant FIFO ring.
+func (e *Engine) readyPush(idx int32) {
+	if e.rcount == len(e.ready) {
+		grown := make([]int32, max(16, 2*len(e.ready)))
+		for i := 0; i < e.rcount; i++ {
+			grown[i] = e.ready[(e.rhead+i)&(len(e.ready)-1)]
+		}
+		e.ready = grown
+		e.rhead = 0
+	}
+	e.ready[(e.rhead+e.rcount)&(len(e.ready)-1)] = idx
+	e.rcount++
+}
+
+// readyPop removes the oldest ring entry. Must only be called when rcount>0.
+func (e *Engine) readyPop() int32 {
+	idx := e.ready[e.rhead]
+	e.rhead = (e.rhead + 1) & (len(e.ready) - 1)
+	e.rcount--
+	return idx
+}
+
+// nextEvent reports the index of the next due event — ring head vs heap
+// top by (time, seq) — without removing it. Callers must ensure at least
+// one event is pending. Ring entries are due at the current instant and
+// necessarily carry larger sequence numbers than same-time heap entries,
+// so the heap wins ties.
+func (e *Engine) nextEvent() (idx int32, fromRing bool) {
+	if e.rcount > 0 && (len(e.eheap) == 0 || !e.less(e.eheap[0], e.ready[e.rhead])) {
+		return e.ready[e.rhead], true
+	}
+	return e.eheap[0], false
+}
+
+// schedule pools the event and routes it to the ready ring (events due now)
+// or the heap (future events).
 func (e *Engine) schedule(ev event) {
 	if ev.t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event in the past: %v < %v", ev.t, e.now))
 	}
-	heap.Push(&e.events, ev)
+	if ev.t == e.now {
+		e.readyPush(e.alloc(ev))
+		return
+	}
+	e.heapPush(e.alloc(ev))
 }
 
 // Schedule runs fn at the current time plus d. It may be called from within
@@ -167,6 +289,17 @@ func (e *Engine) Schedule(d Duration, fn func()) {
 		panic("sim: negative delay")
 	}
 	e.schedule(event{t: e.now + Time(d), seq: e.nextSeq(), fn: fn})
+}
+
+// ScheduleHandler runs h.HandleEvent at the current time plus d. Unlike
+// Schedule it captures no closure: the handler's interface value is stored
+// directly in the pooled event record, so a component that embeds its timer
+// state schedules with zero allocation.
+func (e *Engine) ScheduleHandler(d Duration, h Handler) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	e.schedule(event{t: e.now + Time(d), seq: e.nextSeq(), h: h})
 }
 
 // fail records a fatal error (e.g. a panicking process); Run returns it.
@@ -196,15 +329,28 @@ func (e *Engine) Run() error { return e.RunUntil(Time(1<<62 - 1)) }
 // RunUntil processes events with timestamps <= deadline, then sets the clock
 // to the deadline (if it advanced that far). See Run for the return value.
 func (e *Engine) RunUntil(deadline Time) error {
-	for !e.stopped && len(e.events) > 0 {
-		if e.events[0].t > deadline {
+	e.deadline = deadline
+	for !e.stopped && (e.rcount > 0 || len(e.eheap) > 0) {
+		next, fromRing := e.nextEvent()
+		if e.pool[next].t > deadline {
 			e.now = deadline
 			return e.err
 		}
-		ev := heap.Pop(&e.events).(event)
+		var idx int32
+		if fromRing {
+			idx = e.readyPop()
+		} else {
+			idx = e.heapPop()
+		}
+		ev := e.pool[idx]
+		e.release(idx)
 		e.now = ev.t
 		if ev.fn != nil {
 			ev.fn()
+			continue
+		}
+		if ev.h != nil {
+			ev.h.HandleEvent()
 			continue
 		}
 		if ev.p.finished {
@@ -280,15 +426,62 @@ func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 var errKilled = new(int)
 
 // yield returns control to the kernel until the process is resumed.
+//
+// Direct-switch fast path: when the next due event is a plain process
+// resume within the active RunUntil horizon, the yielding process performs
+// the kernel's dispatch itself — pop, release, advance the clock — and
+// hands control straight to the target (or simply keeps running when the
+// target is itself), skipping the two-way handoff through the kernel
+// goroutine. The kernel stays blocked on its yielded channel throughout a
+// switch chain; exactly one goroutine holds control at any instant, and the
+// channel transfers publish all kernel-state writes to the next holder.
+// Callback and handler events are never run here: they must execute on the
+// kernel goroutine so a panic in one fails the run rather than the
+// coincidentally yielding process. Event pop order is identical to the
+// kernel loop's, so determinism is unchanged.
 func (p *Proc) yield() {
-	p.eng.yielded <- struct{}{}
+	e := p.eng
+	for !e.stopped && (e.rcount > 0 || len(e.eheap) > 0) {
+		next, fromRing := e.nextEvent()
+		ev := &e.pool[next]
+		if ev.t > e.deadline || ev.fn != nil || ev.h != nil {
+			break
+		}
+		if fromRing {
+			e.readyPop()
+		} else {
+			e.heapPop()
+		}
+		tgt, t := ev.p, ev.t
+		e.release(next)
+		e.now = t
+		if tgt.finished {
+			continue // stale event for a completed process
+		}
+		if tgt == p {
+			if p.killed {
+				panic(errKilled)
+			}
+			return
+		}
+		tgt.resume <- struct{}{}
+		<-p.resume
+		if p.killed {
+			panic(errKilled)
+		}
+		return
+	}
+	e.yielded <- struct{}{}
 	<-p.resume
 	if p.killed {
 		panic(errKilled)
 	}
 }
 
-// Hold advances the process by d simulated time.
+// Hold advances the process by d simulated time. When the process's own
+// wake-up turns out to be the next due event, yield's direct-switch fast
+// path advances the clock in place and Hold returns without a single
+// goroutine handoff.
 func (p *Proc) Hold(d Duration) {
 	if d < 0 {
 		panic("sim: negative hold")
@@ -329,5 +522,5 @@ func (e *Engine) Active() int { return e.active }
 // Parked reports the number of processes blocked with no scheduled event.
 func (e *Engine) Parked() int { return e.parked }
 
-// Pending reports the number of events in the heap.
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending reports the number of scheduled events (heap and ready ring).
+func (e *Engine) Pending() int { return len(e.eheap) + e.rcount }

@@ -13,6 +13,12 @@ import (
 // ("FCFS non-preemptive scheduling on all requests, except for byte
 // transfers to/from the disk's FIFO buffer", which we map to a high-priority
 // class) and the FCFS network interfaces.
+//
+// The wait queue is an intrusive singly-linked list of pooled request
+// nodes, and service completion is scheduled through the engine's Handler
+// path, so steady-state operation allocates nothing: nodes recycle through
+// a per-facility free list and the single in-service request lives in a
+// struct field instead of a per-completion closure.
 type Facility struct {
 	eng  *Engine
 	name string
@@ -22,9 +28,14 @@ type Facility struct {
 	node     int
 	category string
 
-	busy    bool
-	queue   []facRequest
-	nextSeq uint64
+	busy     bool
+	qhead    *facRequest // waiting requests (excludes in-service)
+	qtail    *facRequest
+	qlenN    int
+	cur      *facRequest // request in service
+	curSpan  Span
+	freeReqs *facRequest // recycled nodes
+	nextSeq  uint64
 
 	util    stats.TimeWeighted // 0/1 busy indicator over time
 	qlen    stats.TimeWeighted // queue length (excluding in service)
@@ -45,6 +56,7 @@ type facRequest struct {
 	seq     uint64
 	arrived Time
 	qid     int64
+	next    *facRequest
 }
 
 // NewFacility creates a facility attached to the engine. When the engine
@@ -82,11 +94,13 @@ func (f *Facility) UsePriority(p *Proc, service Duration, prio int) {
 	if service < 0 {
 		panic(fmt.Sprintf("sim: facility %s: negative service time", f.name))
 	}
+	req := f.newRequest()
 	f.nextSeq++
-	req := facRequest{p: p, service: service, prio: prio, seq: f.nextSeq, arrived: f.eng.now, qid: p.qid}
+	req.p, req.service, req.prio = p, service, prio
+	req.seq, req.arrived, req.qid = f.nextSeq, f.eng.now, p.qid
 	if f.busy {
 		f.enqueue(req)
-		f.qlen.Set(float64(f.eng.now), float64(len(f.queue)))
+		f.qlen.Set(float64(f.eng.now), float64(f.qlenN))
 		p.Park() // woken when our service completes
 		return
 	}
@@ -94,60 +108,106 @@ func (f *Facility) UsePriority(p *Proc, service Duration, prio int) {
 	p.Park()
 }
 
-// enqueue inserts by (priority desc, seq asc).
-func (f *Facility) enqueue(req facRequest) {
-	i := len(f.queue)
-	for i > 0 {
-		prev := f.queue[i-1]
-		if prev.prio >= req.prio {
-			break
-		}
-		i--
+// newRequest takes a node from the free list, or grows the pool.
+func (f *Facility) newRequest() *facRequest {
+	if req := f.freeReqs; req != nil {
+		f.freeReqs = req.next
+		req.next = nil
+		return req
 	}
-	f.queue = append(f.queue, facRequest{})
-	copy(f.queue[i+1:], f.queue[i:])
-	f.queue[i] = req
+	return new(facRequest)
 }
 
-// serve starts service for req; on completion wakes the owner and starts the
-// next queued request.
-func (f *Facility) serve(req facRequest) {
+// recycle clears a node's references and returns it to the free list.
+func (f *Facility) recycle(req *facRequest) {
+	*req = facRequest{next: f.freeReqs}
+	f.freeReqs = req
+}
+
+// enqueue inserts by (priority desc, seq asc). The common case — a request
+// at or below the tail's priority — appends in O(1).
+func (f *Facility) enqueue(req *facRequest) {
+	f.qlenN++
+	if f.qtail == nil {
+		f.qhead, f.qtail = req, req
+		return
+	}
+	if f.qtail.prio >= req.prio {
+		f.qtail.next = req
+		f.qtail = req
+		return
+	}
+	if f.qhead.prio < req.prio {
+		req.next = f.qhead
+		f.qhead = req
+		return
+	}
+	cur := f.qhead
+	for cur.next != nil && cur.next.prio >= req.prio {
+		cur = cur.next
+	}
+	req.next = cur.next
+	cur.next = req
+	if req.next == nil {
+		f.qtail = req
+	}
+}
+
+// dequeue removes and returns the head of the wait queue, or nil.
+func (f *Facility) dequeue() *facRequest {
+	req := f.qhead
+	if req == nil {
+		return nil
+	}
+	f.qhead = req.next
+	if f.qhead == nil {
+		f.qtail = nil
+	}
+	req.next = nil
+	f.qlenN--
+	return req
+}
+
+// serve starts service for req and schedules its completion (HandleEvent).
+func (f *Facility) serve(req *facRequest) {
 	f.busy = true
+	f.cur = req
 	now := f.eng.now
 	f.util.Set(float64(now), 1)
+	f.curSpan = f.eng.StartSpan()
 	waitMS := Duration(now - req.arrived).Milliseconds()
 	f.wait.Add(waitMS)
 	f.waitH.Observe(waitMS)
-	f.eng.Schedule(req.service, func() {
-		f.served++
-		f.svcTime.Add(req.service.Milliseconds())
-		f.svcH.Observe(req.service.Milliseconds())
-		if f.eng.sink != nil {
-			f.eng.Emit(obs.TraceEvent{
-				T: int64(now), Dur: int64(req.service),
-				Node: f.node, Kind: obs.KindSpan, Category: f.category,
-				Name: req.p.name, QueryID: req.qid,
-			})
-		}
-		f.eng.Wake(req.p)
-		if len(f.queue) > 0 {
-			next := f.queue[0]
-			copy(f.queue, f.queue[1:])
-			f.queue = f.queue[:len(f.queue)-1]
-			f.qlen.Set(float64(f.eng.now), float64(len(f.queue)))
-			f.serve(next)
-		} else {
-			f.busy = false
-			f.util.Set(float64(f.eng.now), 0)
-		}
-	})
+	f.eng.ScheduleHandler(req.service, f)
+}
+
+// HandleEvent completes the in-service request: it wakes the owner,
+// recycles the request node, and starts the next queued request. It
+// implements the engine's Handler interface and is not meant to be called
+// directly.
+func (f *Facility) HandleEvent() {
+	req := f.cur
+	f.served++
+	f.svcTime.Add(req.service.Milliseconds())
+	f.svcH.Observe(req.service.Milliseconds())
+	f.curSpan.End(f.node, f.category, req.p.name, req.qid, "")
+	f.eng.Wake(req.p)
+	f.recycle(req)
+	if next := f.dequeue(); next != nil {
+		f.qlen.Set(float64(f.eng.now), float64(f.qlenN))
+		f.serve(next)
+	} else {
+		f.cur = nil
+		f.busy = false
+		f.util.Set(float64(f.eng.now), 0)
+	}
 }
 
 // Busy reports whether the facility is currently serving a request.
 func (f *Facility) Busy() bool { return f.busy }
 
 // QueueLen reports the number of waiting (not in service) requests.
-func (f *Facility) QueueLen() int { return len(f.queue) }
+func (f *Facility) QueueLen() int { return f.qlenN }
 
 // Served reports the number of completed services.
 func (f *Facility) Served() int64 { return f.served }

@@ -4,12 +4,27 @@ package sim
 // Any number of producers (processes or callbacks) may Put; any number of
 // consumer processes may Get. Messages are delivered in Put order and each
 // message wakes at most one waiting consumer.
+//
+// Messages and waiting consumers live in power-of-two ring buffers, so the
+// steady state allocates nothing and Get is O(1) instead of the O(n) slice
+// shift a naive queue pays. When a consumer is parked, Put hands the message
+// straight to it: the receiver is scheduled on the engine's current-instant
+// ready ring — no event-heap round-trip — and, because a mailbox only holds
+// waiters while it is empty, the message at the head of the ring is the one
+// the woken receiver claims.
 type Mailbox[T any] struct {
-	eng     *Engine
-	name    string
-	msgs    []T
-	waiters []*Proc
-	puts    int64
+	eng  *Engine
+	name string
+
+	buf   []T // message ring (power-of-two capacity)
+	head  int
+	count int
+
+	wbuf   []*Proc // waiting-consumer ring (power-of-two capacity)
+	whead  int
+	wcount int
+
+	puts int64
 }
 
 // NewMailbox creates a mailbox attached to the engine.
@@ -23,12 +38,22 @@ func (m *Mailbox[T]) Name() string { return m.name }
 // Put enqueues a message and wakes one waiting consumer, if any. It never
 // blocks and may be called from event callbacks as well as processes.
 func (m *Mailbox[T]) Put(v T) {
-	m.msgs = append(m.msgs, v)
+	if m.count == len(m.buf) {
+		grown := make([]T, max(8, 2*len(m.buf)))
+		for i := 0; i < m.count; i++ {
+			grown[i] = m.buf[(m.head+i)&(len(m.buf)-1)]
+		}
+		m.buf = grown
+		m.head = 0
+	}
+	m.buf[(m.head+m.count)&(len(m.buf)-1)] = v
+	m.count++
 	m.puts++
-	if len(m.waiters) > 0 {
-		p := m.waiters[0]
-		copy(m.waiters, m.waiters[1:])
-		m.waiters = m.waiters[:len(m.waiters)-1]
+	if m.wcount > 0 {
+		p := m.wbuf[m.whead]
+		m.wbuf[m.whead] = nil
+		m.whead = (m.whead + 1) & (len(m.wbuf) - 1)
+		m.wcount--
 		m.eng.Wake(p)
 	}
 }
@@ -36,31 +61,44 @@ func (m *Mailbox[T]) Put(v T) {
 // Get removes and returns the oldest message, blocking the calling process
 // until one is available.
 func (m *Mailbox[T]) Get(p *Proc) T {
-	for len(m.msgs) == 0 {
-		m.waiters = append(m.waiters, p)
+	for m.count == 0 {
+		if m.wcount == len(m.wbuf) {
+			grown := make([]*Proc, max(4, 2*len(m.wbuf)))
+			for i := 0; i < m.wcount; i++ {
+				grown[i] = m.wbuf[(m.whead+i)&(len(m.wbuf)-1)]
+			}
+			m.wbuf = grown
+			m.whead = 0
+		}
+		m.wbuf[(m.whead+m.wcount)&(len(m.wbuf)-1)] = p
+		m.wcount++
 		p.Park()
 	}
-	v := m.msgs[0]
-	copy(m.msgs, m.msgs[1:])
-	m.msgs = m.msgs[:len(m.msgs)-1]
-	return v
+	return m.pop()
 }
 
 // TryGet removes and returns the oldest message without blocking. The second
 // result reports whether a message was available.
 func (m *Mailbox[T]) TryGet() (T, bool) {
-	var zero T
-	if len(m.msgs) == 0 {
+	if m.count == 0 {
+		var zero T
 		return zero, false
 	}
-	v := m.msgs[0]
-	copy(m.msgs, m.msgs[1:])
-	m.msgs = m.msgs[:len(m.msgs)-1]
-	return v, true
+	return m.pop(), true
+}
+
+// pop removes the ring head. Must only be called when count > 0.
+func (m *Mailbox[T]) pop() T {
+	var zero T
+	v := m.buf[m.head]
+	m.buf[m.head] = zero // drop the reference for the collector
+	m.head = (m.head + 1) & (len(m.buf) - 1)
+	m.count--
+	return v
 }
 
 // Len reports the number of queued messages.
-func (m *Mailbox[T]) Len() int { return len(m.msgs) }
+func (m *Mailbox[T]) Len() int { return m.count }
 
 // Puts reports the total number of messages ever Put.
 func (m *Mailbox[T]) Puts() int64 { return m.puts }
