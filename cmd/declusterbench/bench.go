@@ -189,11 +189,14 @@ func runBenchSuite(path string) error {
 			},
 		}
 	}
-	_, manifest := harness.Execute(jobs, harness.Options{
+	_, manifest, err := harness.Execute(jobs, harness.Options{
 		Workers:  1,
 		Progress: os.Stderr,
 		Label:    "simbench",
 	})
+	if err != nil {
+		return err
+	}
 	if err := manifest.Err(); err != nil {
 		return err
 	}

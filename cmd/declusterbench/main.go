@@ -30,6 +30,23 @@
 //	                 write a JSON report (combine with -fig none to run
 //	                 benchmarks alone)
 //
+// Fault injection (all fault flags imply chained replicas and the degraded
+// scheduler; see DESIGN.md §8):
+//
+//	-faults 0,1,2    run the degraded-mode campaign instead of the figure
+//	                 campaign: for each selected figure, sweep each strategy
+//	                 with k disks fail-stopped for each listed k
+//	-mtbf D          arm stochastic transient disk read errors with mean
+//	                 time D between faults per disk (e.g. -mtbf 500ms)
+//	-kill-disk L     fail-stop disks: comma-separated "n@t[+d]" items, e.g.
+//	                 "3@10ms" (node 3's disk dies 10ms in) or "0@5ms+200ms"
+//	                 (repaired 200ms later)
+//	-kill-node L     crash nodes, same "n@t[+d]" syntax (restart after +d,
+//	                 otherwise down for the rest of the run)
+//
+// Runs with faults armed print a summary line
+// "fault outcomes: ok=N retried=N timed_out=N failed=N" that CI greps.
+//
 // Profiling the simulator itself:
 //
 //	-cpuprofile FILE  write a pprof CPU profile of the whole run
@@ -51,9 +68,13 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/gamma"
 	"repro/internal/harness"
+	"repro/internal/sim"
 )
 
 func main() { os.Exit(run()) }
@@ -80,6 +101,10 @@ func run() int {
 		scaleout    = flag.Bool("scaleout", false, "run the machine-size sweep too")
 		nodeStats   = flag.Bool("node-stats", false, "print per-node utilization tables (highest MPL)")
 		benchOut    = flag.String("bench-out", "", "run the kernel microbenchmark suite and write a JSON report")
+		faultsKs    = flag.String("faults", "", `degraded-mode campaign: comma-separated failed-disk counts, e.g. "0,1,2"`)
+		mtbf        = flag.Duration("mtbf", 0, "mean time between stochastic transient disk read errors (0 = off)")
+		killDisk    = flag.String("kill-disk", "", `fail-stop disks: comma-separated "n@t[+d]" items, e.g. "3@10ms" or "0@5ms+200ms"`)
+		killNode    = flag.String("kill-node", "", `crash nodes: comma-separated "n@t[+d]" items (restart after +d, else down for the run)`)
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a pprof heap profile to this file")
 		httpPprof   = flag.String("httppprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -137,6 +162,14 @@ func run() int {
 	if err != nil {
 		return fail(err)
 	}
+	spec, err := buildFaultSpec(*mtbf, *killDisk, *killNode)
+	if err != nil {
+		return fail(err)
+	}
+	if spec.Enabled() {
+		opts.Faults = spec
+		opts.ChainedReplicas = true
+	}
 
 	exit := 0
 	if *benchOut != "" {
@@ -149,7 +182,36 @@ func run() int {
 	archive := experiments.Archive{Label: "declusterbench", Options: opts}
 	var manifests []harness.Manifest
 
-	if len(figs) > 0 {
+	if *faultsKs != "" {
+		if len(figs) == 0 {
+			return fail(fmt.Errorf(`-faults needs at least one figure (drop "-fig none")`))
+		}
+		ks, err := parseKs(*faultsKs)
+		if err != nil {
+			return fail(err)
+		}
+		for _, fig := range figs {
+			fmt.Fprintf(os.Stderr, "running degraded campaign for figure %s (k=%v) on %d workers...\n",
+				fig.ID, ks, workersFor(*parallel))
+			dres, manifest, err := experiments.RunDegraded(fig, ks, opts, experiments.CampaignOptions{
+				Workers:    *parallel,
+				JobTimeout: *timeout,
+				Progress:   os.Stderr,
+				Label:      "degraded/" + fig.ID,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "declusterbench:", err)
+				exit = 1
+			}
+			manifests = append(manifests, manifest)
+			if *csv {
+				fmt.Print(dres.Table().CSV())
+			} else {
+				fmt.Println(dres.Table().String())
+			}
+			fmt.Printf("fault outcomes: %s\n\n", dres.Outcomes())
+		}
+	} else if len(figs) > 0 {
 		fmt.Fprintf(os.Stderr, "running %d figures on %d workers...\n", len(figs), workersFor(*parallel))
 		campaign, err := experiments.RunCampaign(figs, opts, experiments.CampaignOptions{
 			Workers:    *parallel,
@@ -187,6 +249,18 @@ func run() int {
 				printNodeStats(res, *csv)
 			}
 			fmt.Println()
+		}
+		if opts.Faults.Enabled() {
+			var o gamma.Outcomes
+			for _, res := range campaign.Figures {
+				for _, p := range res.Points {
+					o.OK += p.Result.Outcomes.OK
+					o.Retried += p.Result.Outcomes.Retried
+					o.TimedOut += p.Result.Outcomes.TimedOut
+					o.Failed += p.Result.Outcomes.Failed
+				}
+			}
+			fmt.Printf("fault outcomes: %s\n", o)
 		}
 	}
 
@@ -354,6 +428,84 @@ func selectFigures(list string) ([]experiments.Figure, error) {
 		out = append(out, fig)
 	}
 	return out, nil
+}
+
+// buildFaultSpec assembles the run's fault spec from the -mtbf, -kill-disk
+// and -kill-node flags. An all-defaults spec (Enabled() == false) leaves the
+// run byte-identical to a fault-free build.
+func buildFaultSpec(mtbf time.Duration, killDisk, killNode string) (*fault.Spec, error) {
+	if mtbf < 0 {
+		return nil, fmt.Errorf("negative -mtbf %v", mtbf)
+	}
+	spec := &fault.Spec{MTBF: sim.Duration(mtbf)}
+	if err := parseKillList(killDisk, fault.DiskFail, spec); err != nil {
+		return nil, fmt.Errorf("-kill-disk: %w", err)
+	}
+	if err := parseKillList(killNode, fault.NodeCrash, spec); err != nil {
+		return nil, fmt.Errorf("-kill-node: %w", err)
+	}
+	return spec, nil
+}
+
+// parseKillList parses a comma-separated list of "n@t[+d]" items — node n
+// fails at offset t, recovering d later when the +d suffix is present — and
+// appends the corresponding events to spec. Durations use Go syntax
+// (time.ParseDuration); simulation time is nanoseconds 1:1 with
+// time.Duration.
+func parseKillList(list string, kind fault.Kind, spec *fault.Spec) error {
+	for _, item := range strings.Split(list, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		ev, err := parseKill(item, kind)
+		if err != nil {
+			return err
+		}
+		spec.Events = append(spec.Events, ev)
+	}
+	return nil
+}
+
+func parseKill(s string, kind fault.Kind) (fault.Event, error) {
+	i := strings.IndexByte(s, '@')
+	if i < 0 {
+		return fault.Event{}, fmt.Errorf("bad item %q (want n@t or n@t+d)", s)
+	}
+	node, err := strconv.Atoi(s[:i])
+	if err != nil || node < 0 {
+		return fault.Event{}, fmt.Errorf("bad node in %q", s)
+	}
+	at, rest := s[i+1:], ""
+	if j := strings.IndexByte(at, '+'); j >= 0 {
+		at, rest = at[:j], at[j+1:]
+	}
+	t, err := time.ParseDuration(at)
+	if err != nil || t < 0 {
+		return fault.Event{}, fmt.Errorf("bad offset in %q", s)
+	}
+	ev := fault.Event{At: sim.Duration(t), Kind: kind, Node: node}
+	if rest != "" {
+		d, err := time.ParseDuration(rest)
+		if err != nil || d <= 0 {
+			return fault.Event{}, fmt.Errorf("bad recovery duration in %q", s)
+		}
+		ev.Dur = sim.Duration(d)
+	}
+	return ev, nil
+}
+
+// parseKs parses the -faults list of failed-disk counts.
+func parseKs(list string) ([]int, error) {
+	var ks []int
+	for _, s := range strings.Split(list, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad -faults count %q (want non-negative integers)", s)
+		}
+		ks = append(ks, v)
+	}
+	return ks, nil
 }
 
 func fail(err error) int {

@@ -25,7 +25,7 @@ type Pool struct {
 
 	lru      *list.List            // front = most recent; values are page numbers
 	resident map[int]*list.Element // physical page -> LRU element
-	inflight map[int]*sim.Trigger  // physical page -> pending read completion
+	inflight map[int]*pendingRead  // physical page -> pending read completion
 
 	hits, misses, evictions int64
 
@@ -47,7 +47,7 @@ func NewPool(e *sim.Engine, name string, capacity int, disk *hw.Disk) *Pool {
 		disk:     disk,
 		lru:      list.New(),
 		resident: make(map[int]*list.Element),
-		inflight: make(map[int]*sim.Trigger),
+		inflight: make(map[int]*pendingRead),
 	}
 	if reg := e.Metrics(); reg != nil {
 		b.hitsC = reg.Counter(name + ".hits")
@@ -57,37 +57,49 @@ func NewPool(e *sim.Engine, name string, capacity int, disk *hw.Disk) *Pool {
 	return b
 }
 
+// pendingRead tracks one in-flight disk read: piggybackers wait on tr, and
+// err carries the reader's outcome to them (set before tr fires).
+type pendingRead struct {
+	tr  *sim.Trigger
+	err error
+}
+
 // Read ensures physPage is in memory, blocking the caller for the disk read
 // on a miss. Hits cost no simulated time (the lookup is folded into the
-// caller's per-page CPU charge).
-func (b *Pool) Read(p *sim.Proc, physPage int) {
+// caller's per-page CPU charge). An error means the page did not reach
+// memory — the disk failed or the read hit an injected I/O error — and is
+// delivered to piggybacked waiters too; the page is not marked resident.
+func (b *Pool) Read(p *sim.Proc, physPage int) error {
 	if b.capacity == 0 {
 		b.misses++
 		b.missesC.Inc()
-		b.disk.Read(p, physPage)
-		return
+		return b.disk.Read(p, physPage)
 	}
 	if el, ok := b.resident[physPage]; ok {
 		b.hits++
 		b.hitsC.Inc()
 		b.lru.MoveToFront(el)
-		return
+		return nil
 	}
-	if tr, ok := b.inflight[physPage]; ok {
-		// Another process is already reading this page; piggyback on it.
+	if pr, ok := b.inflight[physPage]; ok {
+		// Another process is already reading this page; piggyback on it and
+		// share its outcome.
 		b.hits++
 		b.hitsC.Inc()
-		tr.Wait(p)
-		return
+		pr.tr.Wait(p)
+		return pr.err
 	}
 	b.misses++
 	b.missesC.Inc()
-	tr := sim.NewTrigger(b.eng)
-	b.inflight[physPage] = tr
-	b.disk.Read(p, physPage)
+	pr := &pendingRead{tr: sim.NewTrigger(b.eng)}
+	b.inflight[physPage] = pr
+	pr.err = b.disk.Read(p, physPage)
 	delete(b.inflight, physPage)
-	b.insert(physPage)
-	tr.Fire()
+	if pr.err == nil {
+		b.insert(physPage)
+	}
+	pr.tr.Fire()
+	return pr.err
 }
 
 // insert adds the page as most-recently-used, evicting LRU pages over

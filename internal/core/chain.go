@@ -1,0 +1,13 @@
+package core
+
+// ChainBackup maps a primary processor to the holder of its fragment's
+// replica under chained declustering (Hsiao & DeWitt): node i's fragment is
+// mirrored on its successor (i+1) mod p, so any single failure leaves every
+// fragment reachable and the extra load spreads along the chain rather than
+// doubling on one mirror partner.
+func ChainBackup(node, p int) int {
+	if p <= 1 {
+		return -1 // a one-node "chain" has nowhere to put a replica
+	}
+	return (node + 1) % p
+}

@@ -1,0 +1,25 @@
+package core
+
+import "testing"
+
+func TestChainBackup(t *testing.T) {
+	for _, tc := range []struct{ node, p, want int }{
+		{0, 8, 1}, {6, 8, 7}, {7, 8, 0}, {0, 2, 1}, {1, 2, 0},
+		{0, 1, -1}, {0, 0, -1},
+	} {
+		if got := ChainBackup(tc.node, tc.p); got != tc.want {
+			t.Errorf("ChainBackup(%d, %d) = %d, want %d", tc.node, tc.p, got, tc.want)
+		}
+	}
+	// Every node's backup is a distinct other node: the chain is a single
+	// cycle, so one failure never orphans a fragment.
+	p := 8
+	seen := map[int]bool{}
+	for i := 0; i < p; i++ {
+		b := ChainBackup(i, p)
+		if b == i || seen[b] {
+			t.Fatalf("chain is not a permutation without fixed points: backup(%d)=%d", i, b)
+		}
+		seen[b] = true
+	}
+}

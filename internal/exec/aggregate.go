@@ -95,13 +95,13 @@ func (n *Node) runAggregate(p *sim.Proc, req aggOp) {
 	var acc storage.Access
 	switch req.Access {
 	case AccessClustered:
-		acc = frag.SearchClustered(req.Pred.Lo, req.Pred.Hi)
+		acc = mustAccess(frag.SearchClustered(req.Pred.Lo, req.Pred.Hi))
 	case AccessNonClustered:
-		acc = frag.SearchNonClustered(req.Pred.Attr, req.Pred.Lo, req.Pred.Hi)
+		acc = mustAccess(frag.SearchNonClustered(req.Pred.Attr, req.Pred.Lo, req.Pred.Hi))
 	default:
 		acc = frag.Scan(req.Pred.Attr, req.Pred.Lo, req.Pred.Hi)
 	}
-	n.chargeAccess(p, acc)
+	n.mustCharge(p, acc)
 	n.OpsExecuted++
 
 	var value int64

@@ -10,6 +10,42 @@ import (
 	"sort"
 )
 
+// Outcome classifies how a query ended under degraded-mode execution. The
+// zero value is OutcomeOK, so the legacy (fault-free) path needs no
+// bookkeeping.
+type Outcome int
+
+const (
+	// OutcomeOK: completed on the first attempt of every operator.
+	OutcomeOK Outcome = iota
+	// OutcomeRetried: completed, but at least one operator was retried or
+	// rerouted to a backup replica.
+	OutcomeRetried
+	// OutcomeTimedOut: abandoned at its end-to-end deadline.
+	OutcomeTimedOut
+	// OutcomeFailed: abandoned because an operator exhausted its retry
+	// budget or no replica of a fragment was available.
+	OutcomeFailed
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeRetried:
+		return "retried"
+	case OutcomeTimedOut:
+		return "timed-out"
+	case OutcomeFailed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// Succeeded reports whether the query produced its full result.
+func (o Outcome) Succeeded() bool { return o == OutcomeOK || o == OutcomeRetried }
+
 // QueryResult summarizes one executed query.
 type QueryResult struct {
 	ID             int64
@@ -19,6 +55,11 @@ type QueryResult struct {
 	AuxProcessors  int // BERD first-step processors among them
 	Submitted      sim.Time
 	Completed      sim.Time
+
+	// Degraded-mode accounting (zero values on the legacy path).
+	Outcome Outcome
+	Retries int   // operator redispatches (retries + reroutes)
+	Err     error // why the query timed out or failed
 }
 
 // ResponseMS reports the query's response time in milliseconds.
@@ -51,16 +92,30 @@ type Host struct {
 	// saves the index probe but costs one random I/O per tuple.
 	BERDFetchByTID bool
 
-	nextQID int64
-	pending map[int64]*sim.Mailbox[any]
+	// Degraded switches the scheduler to degraded-mode execution: per-query
+	// deadlines, per-operator timeouts, bounded jittered retry, and
+	// chained-replica rerouting. Nil (the default) keeps the legacy
+	// scheduling path, byte-identical to a build without fault support.
+	Degraded *Degraded
+
+	nextQID     int64
+	nextAttempt int
+	pending     map[int64]*sim.Mailbox[any]
 
 	// Stats.
 	QueriesRun int64
+	Orphans    int64 // late/duplicate results for queries no longer pending
 
 	// Registry handles (nil-safe when metrics are disabled).
 	completedC *obs.Counter
 	fanoutH    *obs.Histogram
 	respH      *obs.Histogram
+	retriesC   *obs.Counter
+	orphanC    *obs.Counter
+	okC        *obs.Counter
+	retriedC   *obs.Counter
+	timedOutC  *obs.Counter
+	failedC    *obs.Counter
 }
 
 // NewHost wires the scheduler node. Relations are attached with
@@ -76,6 +131,12 @@ func NewHost(eng *sim.Engine, id int, params hw.Params, net *hw.Network, costs C
 		h.completedC = reg.Counter("query.completed")
 		h.fanoutH = reg.Histogram("query.fanout_nodes")
 		h.respH = reg.Histogram("query.response_ms")
+		h.retriesC = reg.Counter("query.retries")
+		h.orphanC = reg.Counter("query.orphan_results")
+		h.okC = reg.Counter("query.outcome_ok")
+		h.retriedC = reg.Counter("query.outcome_retried")
+		h.timedOutC = reg.Counter("query.outcome_timed_out")
+		h.failedC = reg.Counter("query.outcome_failed")
 	}
 	return h
 }
@@ -102,6 +163,8 @@ func (h *Host) Start() {
 			switch r := m.Payload.(type) {
 			case opResult:
 				qid = r.QueryID
+			case opError:
+				qid = r.QueryID
 			case auxResult:
 				qid = r.QueryID
 			case joinDone:
@@ -115,6 +178,14 @@ func (h *Host) Start() {
 			}
 			mb, ok := h.pending[qid]
 			if !ok {
+				if h.Degraded != nil {
+					// Late or duplicated reply for a query the scheduler
+					// already finished (or abandoned) — expected under
+					// timeouts, crashes and message duplication.
+					h.Orphans++
+					h.orphanC.Inc()
+					continue
+				}
 				panic(fmt.Sprintf("exec: host: result for unknown query %d", qid))
 			}
 			mb.Put(m.Payload)
@@ -140,6 +211,9 @@ func (h *Host) ExecuteOn(p *sim.Proc, relation string, pred core.Predicate, acce
 	placement, ok := h.placements[relation]
 	if !ok {
 		panic(fmt.Sprintf("exec: unknown relation %q", relation))
+	}
+	if h.Degraded != nil {
+		return h.executeDegraded(p, relation, placement, pred, access)
 	}
 	h.nextQID++
 	qid := h.nextQID

@@ -1,0 +1,371 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/hw"
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// RetryPolicy tunes degraded-mode execution. All durations are simulated
+// time.
+type RetryPolicy struct {
+	// OpTimeout guards each wait for operator replies: when it expires,
+	// every outstanding operator is redispatched (a lost reply and a dead
+	// node look the same from the scheduler).
+	OpTimeout sim.Duration
+	// QueryDeadline is the end-to-end budget per query; past it the query
+	// is abandoned with OutcomeTimedOut.
+	QueryDeadline sim.Duration
+	// MaxRetries bounds redispatches per logical operator.
+	MaxRetries int
+	// BackoffBase and BackoffCap shape the exponential backoff between
+	// redispatches: base·2^(attempt-1), capped, jittered ±50%.
+	BackoffBase sim.Duration
+	BackoffCap  sim.Duration
+}
+
+// DefaultRetryPolicy returns conservative defaults: operator timeouts well
+// above any healthy response time at the paper's load levels, and a retry
+// budget that tolerates a fault burst without retrying forever.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		OpTimeout:     2 * sim.Second,
+		QueryDeadline: 20 * sim.Second,
+		MaxRetries:    3,
+		BackoffBase:   5 * sim.Millisecond,
+		BackoffCap:    200 * sim.Millisecond,
+	}
+}
+
+// Degraded configures the scheduler's degraded-mode execution path.
+type Degraded struct {
+	Policy RetryPolicy
+	// View is the scheduler's picture of node/disk health, kept current by
+	// the fault injector. Nil means "assume everything available".
+	View *fault.View
+	// Backup maps a primary node to its chained-declustering backup, or -1
+	// when the fragment has no replica.
+	Backup func(node int) int
+	// Jitter randomizes backoff delays (a dedicated rng stream, so enabling
+	// retries perturbs no other stochastic decision in the run).
+	Jitter *rng.Source
+}
+
+// available consults the health view, defaulting to available.
+func (d *Degraded) available(node int) bool {
+	return d.View == nil || d.View.Available(node)
+}
+
+// backupOf returns the replica holder for a primary, or -1.
+func (d *Degraded) backupOf(node int) int {
+	if d.Backup == nil {
+		return -1
+	}
+	return d.Backup(node)
+}
+
+// call tracks one logical operator (work against one primary fragment)
+// through dispatch, retries, and replica rerouting.
+type call struct {
+	primary   int  // node whose fragment the work targets
+	target    int  // node the live attempt was sent to
+	attempt   int  // query-unique id of the live attempt
+	retries   int  // redispatches so far
+	useBackup bool // current replica preference
+	done      bool
+}
+
+// collector drives a set of logical calls to completion under the degraded
+// policy: per-wait timeouts, bounded jittered exponential backoff,
+// chained-replica rerouting, and at-most-once accounting (stale or
+// duplicated replies are dropped by attempt id).
+type collector struct {
+	h         *Host
+	d         *Degraded
+	p         *sim.Proc
+	mb        *sim.Mailbox[any]
+	deadline  sim.Time
+	calls     []*call
+	byAttempt map[int]*call
+	used      map[int]bool
+	retries   int
+	// dispatch sends the request for c's current (target, attempt, backup)
+	// state; accept folds a matched success reply into the query result.
+	dispatch func(c *call)
+	accept   func(c *call, msg any)
+}
+
+func newCollector(h *Host, p *sim.Proc, mb *sim.Mailbox[any], deadline sim.Time,
+	primaries []int, used map[int]bool) *collector {
+	col := &collector{
+		h: h, d: h.Degraded, p: p, mb: mb, deadline: deadline,
+		byAttempt: make(map[int]*call, len(primaries)),
+		used:      used,
+	}
+	for _, node := range primaries {
+		col.calls = append(col.calls, &call{primary: node, target: -1})
+	}
+	return col
+}
+
+// pickTarget chooses the replica to dispatch to, honoring the call's
+// current preference but falling back to whichever copy is available.
+func (col *collector) pickTarget(c *call) (int, bool) {
+	pref, alt := c.primary, col.d.backupOf(c.primary)
+	if c.useBackup {
+		pref, alt = alt, pref
+	}
+	if pref >= 0 && col.d.available(pref) {
+		return pref, true
+	}
+	if alt >= 0 && col.d.available(alt) {
+		c.useBackup = !c.useBackup
+		return alt, true
+	}
+	return -1, false
+}
+
+// send dispatches the call's next attempt, reporting false when no replica
+// of the fragment is available.
+func (col *collector) send(c *call) bool {
+	target, ok := col.pickTarget(c)
+	if !ok {
+		return false
+	}
+	c.target = target
+	col.h.nextAttempt++
+	c.attempt = col.h.nextAttempt
+	col.byAttempt[c.attempt] = c
+	col.used[target] = true
+	col.dispatch(c)
+	return true
+}
+
+// retry backs off and redispatches, reporting false when the retry budget
+// is exhausted or no replica is available.
+func (col *collector) retry(c *call) bool {
+	if c.retries >= col.d.Policy.MaxRetries {
+		return false
+	}
+	c.retries++
+	col.retries++
+	col.h.retriesC.Inc()
+	col.backoff(c.retries)
+	return col.send(c)
+}
+
+// backoff holds the coordinator for base·2^(nth-1), capped and jittered
+// ±50% from the dedicated retry stream.
+func (col *collector) backoff(nth int) {
+	d := col.d.Policy.BackoffBase
+	for i := 1; i < nth && d < col.d.Policy.BackoffCap; i++ {
+		d *= 2
+	}
+	if d > col.d.Policy.BackoffCap {
+		d = col.d.Policy.BackoffCap
+	}
+	if col.d.Jitter != nil {
+		d = sim.Duration(float64(d) * col.d.Jitter.Uniform(0.5, 1.5))
+	}
+	if d > 0 {
+		col.p.Hold(d)
+	}
+}
+
+// orphan books a reply that no longer matches an outstanding attempt —
+// superseded by a retry, or an interconnect duplicate.
+func (col *collector) orphan() {
+	col.h.Orphans++
+	col.h.orphanC.Inc()
+}
+
+// run dispatches every call and collects replies until all complete, the
+// deadline passes, or a call runs out of options.
+func (col *collector) run() (Outcome, error) {
+	remaining := 0
+	for _, c := range col.calls {
+		if !col.send(c) {
+			return OutcomeFailed, fmt.Errorf("exec: no available replica of node %d's fragment", c.primary)
+		}
+		remaining++
+	}
+	for remaining > 0 {
+		left := sim.Duration(col.deadline - col.p.Now())
+		if left <= 0 {
+			return OutcomeTimedOut, fmt.Errorf("exec: query deadline exceeded with %d operators outstanding", remaining)
+		}
+		wait := col.d.Policy.OpTimeout
+		if left < wait {
+			wait = left
+		}
+		msg, ok := col.mb.GetTimeout(col.p, wait)
+		if !ok {
+			if sim.Duration(col.deadline-col.p.Now()) <= 0 {
+				return OutcomeTimedOut, fmt.Errorf("exec: query deadline exceeded with %d operators outstanding", remaining)
+			}
+			// Operator timeout: redispatch everything outstanding, flipping
+			// each call's replica preference — a silent primary is retried
+			// on its backup and vice versa.
+			for _, c := range col.calls {
+				if c.done {
+					continue
+				}
+				delete(col.byAttempt, c.attempt)
+				c.useBackup = !c.useBackup
+				if !col.retry(c) {
+					return OutcomeFailed, fmt.Errorf("exec: node %d's operator unresponsive after %d attempts", c.primary, c.retries+1)
+				}
+			}
+			continue
+		}
+		switch r := msg.(type) {
+		case opError:
+			c := col.byAttempt[r.Attempt]
+			if c == nil || c.done {
+				col.orphan() // stale attempt or duplicated error
+				continue
+			}
+			delete(col.byAttempt, c.attempt)
+			if !r.Transient {
+				// Fail-stop or routing error: this replica is not coming
+				// back; go to the other one.
+				c.useBackup = !c.useBackup
+			}
+			if !col.retry(c) {
+				return OutcomeFailed, fmt.Errorf("exec: operator on node %d failed: %s", r.Node, r.Msg)
+			}
+		case attemptTagged:
+			c := col.byAttempt[r.attemptID()]
+			if c == nil || c.done {
+				col.orphan() // late reply for a superseded attempt, or a duplicate
+				continue
+			}
+			c.done = true
+			delete(col.byAttempt, c.attempt)
+			remaining--
+			col.accept(c, msg)
+		}
+	}
+	return OutcomeOK, nil
+}
+
+// executeDegraded is ExecuteOn's degraded-mode twin: the same plan/route/
+// schedule/collect flow, but every wait is deadlined, operator failures and
+// silences are retried with backoff, and requests reroute to chained
+// backups when a replica is down. It trades the legacy path's minimal
+// bookkeeping for fault tolerance, so it only runs when Host.Degraded is
+// set.
+func (h *Host) executeDegraded(p *sim.Proc, relation string, placement core.Placement,
+	pred core.Predicate, access AccessChooser) QueryResult {
+	d := h.Degraded
+	h.nextQID++
+	qid := h.nextQID
+	qspan := h.eng.StartSpan()
+	res := QueryResult{ID: qid, Pred: pred, Submitted: p.Now()}
+	mb := sim.NewMailbox[any](h.eng, fmt.Sprintf("host.q%d", qid))
+	h.pending[qid] = mb
+	defer delete(h.pending, qid)
+	p.SetQID(qid)
+	defer p.SetQID(0)
+
+	p.Hold(h.params.InstrTime(h.costs.PlanInstr))
+	route := placement.Route(pred)
+	if route.EntriesSearched > 0 {
+		p.Hold(sim.Milliseconds(h.costs.CSms * float64(route.EntriesSearched)))
+	}
+	deadline := p.Now() + sim.Time(d.Policy.QueryDeadline)
+
+	used := map[int]bool{}
+	participants := route.Participants
+	var tidsByProc map[int][]int64
+
+	finish := func(outcome Outcome, err error) QueryResult {
+		res.Outcome = outcome
+		res.Err = err
+		res.ProcessorsUsed = len(used)
+		res.Completed = p.Now()
+		h.QueriesRun++
+		h.completedC.Inc()
+		h.fanoutH.Observe(float64(res.ProcessorsUsed))
+		h.respH.Observe(res.ResponseMS())
+		h.countOutcome(outcome)
+		if qspan.Active() {
+			qspan.End(obs.NoNode, "query", fmt.Sprintf("q%d %s", qid, relation), qid,
+				fmt.Sprintf("%s: %d tuples, %d processors, %d retries",
+					outcome, res.Tuples, res.ProcessorsUsed, res.Retries))
+		}
+		return res
+	}
+
+	// BERD two-step: consult the auxiliary relation first.
+	if len(route.Aux) > 0 {
+		res.AuxProcessors = len(route.Aux)
+		tidsByProc = make(map[int][]int64)
+		col := newCollector(h, p, mb, deadline, route.Aux, used)
+		col.dispatch = func(c *call) {
+			h.net.Send(p, nil, hw.Message{
+				From: h.ID, To: c.target, Bytes: controlBytes,
+				Payload: auxLookup{QueryID: qid, Relation: relation, Pred: pred,
+					ReplyTo: h.ID, Attempt: c.attempt, Backup: c.target != c.primary},
+			})
+		}
+		col.accept = func(c *call, msg any) {
+			for proc, tids := range msg.(auxResult).TIDsByProc {
+				tidsByProc[proc] = append(tidsByProc[proc], tids...)
+			}
+		}
+		outcome, err := col.run()
+		res.Retries += col.retries
+		if outcome != OutcomeOK {
+			return finish(outcome, err)
+		}
+		participants = participants[:0]
+		for proc := range tidsByProc {
+			participants = append(participants, proc)
+		}
+		sort.Ints(participants) // map order is randomized; the schedule must not be
+	}
+
+	// Scheduler: one operator per participant, collected under the policy.
+	col := newCollector(h, p, mb, deadline, participants, used)
+	col.dispatch = func(c *call) {
+		op := startOp{QueryID: qid, Relation: relation, Pred: pred, ReplyTo: h.ID,
+			Access: access(pred), Attempt: c.attempt, Backup: c.target != c.primary}
+		if tidsByProc != nil && h.BERDFetchByTID {
+			op.Access = AccessTIDFetch
+			op.TIDs = tidsByProc[c.primary]
+		}
+		h.net.Send(p, nil, hw.Message{
+			From: h.ID, To: c.target, Bytes: controlBytes, Payload: op,
+		})
+	}
+	col.accept = func(c *call, msg any) {
+		res.Tuples += msg.(opResult).Tuples
+	}
+	outcome, err := col.run()
+	res.Retries += col.retries
+	if outcome == OutcomeOK && res.Retries > 0 {
+		outcome = OutcomeRetried
+	}
+	return finish(outcome, err)
+}
+
+// countOutcome mirrors a query outcome into the metrics registry.
+func (h *Host) countOutcome(o Outcome) {
+	switch o {
+	case OutcomeOK:
+		h.okC.Inc()
+	case OutcomeRetried:
+		h.retriedC.Inc()
+	case OutcomeTimedOut:
+		h.timedOutC.Inc()
+	case OutcomeFailed:
+		h.failedC.Inc()
+	}
+}

@@ -140,7 +140,7 @@ func (n *Node) runJoinScan(p *sim.Proc, req joinScan) {
 		lo, hi := minMaxInt64()
 		acc = frag.Scan(req.Attr, lo, hi)
 	}
-	n.chargeAccess(p, acc)
+	n.mustCharge(p, acc)
 	n.OpsExecuted++
 
 	// Split table: partition the qualifying tuples by join-attribute hash.

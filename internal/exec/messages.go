@@ -50,8 +50,14 @@ type startOp struct {
 	Relation string
 	Pred     core.Predicate
 	Access   AccessKind
-	TIDs     []int64 // AccessTIDFetch only: this node's qualifying TIDs
+	TIDs     []int64 // AccessTIDFetch only: the primary fragment's qualifying TIDs
 	ReplyTo  int     // scheduler node
+	// Attempt tags this dispatch for at-most-once accounting under retries
+	// and message duplication (degraded mode; 0 on the legacy path).
+	Attempt int
+	// Backup directs the operator at the node's chained-declustering backup
+	// fragment instead of its primary one.
+	Backup bool
 }
 
 // opResult carries an operator's qualifying tuples back to the scheduler;
@@ -60,6 +66,19 @@ type opResult struct {
 	QueryID int64
 	Node    int
 	Tuples  int
+	Attempt int // echoes startOp.Attempt
+}
+
+// opError reports an operator that failed instead of completing: an
+// injected disk fault, a missing (backup) fragment, or a routing error.
+// Transient distinguishes faults worth retrying in place from those that
+// require rerouting to a replica.
+type opError struct {
+	QueryID   int64
+	Node      int
+	Attempt   int
+	Transient bool
+	Msg       string
 }
 
 // auxLookup asks a node to search its fragment of a BERD auxiliary relation.
@@ -68,6 +87,8 @@ type auxLookup struct {
 	Relation string
 	Pred     core.Predicate
 	ReplyTo  int
+	Attempt  int
+	Backup   bool
 }
 
 // auxResult returns the home processors (and TIDs) of qualifying tuples.
@@ -77,4 +98,13 @@ type auxResult struct {
 	// TIDsByProc maps home processor -> qualifying TIDs stored there.
 	TIDsByProc map[int][]int64
 	Entries    int
+	Attempt    int // echoes auxLookup.Attempt
 }
+
+// attemptTagged is implemented by result messages that echo their dispatch
+// attempt, letting the degraded-mode collector drop stale and duplicated
+// replies.
+type attemptTagged interface{ attemptID() int }
+
+func (r opResult) attemptID() int  { return r.Attempt }
+func (r auxResult) attemptID() int { return r.Attempt }

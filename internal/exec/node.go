@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/buffer"
@@ -53,14 +54,26 @@ type Node struct {
 	aux   map[string]map[int]*storage.AuxFragment // relation -> attr -> aux
 	joins map[int64]*joinWorker                   // live join operators by query
 
+	// Chained-declustering replicas: this node's copies of its
+	// predecessor's fragments, served when the scheduler reroutes.
+	backups    map[string]*storage.Fragment
+	auxBackups map[string]map[int]*storage.AuxFragment
+
+	// Crash state. down fail-silences the node; epoch increments on every
+	// crash so operators started before it suppress their replies.
+	down  bool
+	epoch int
+
 	// Stats.
 	OpsExecuted   int64
 	TuplesShipped int64
+	OpErrors      int64
 
 	// Registry handles (nil-safe when metrics are disabled).
 	opsC    *obs.Counter
 	tuplesC *obs.Counter
 	pagesC  *obs.Counter
+	errsC   *obs.Counter
 }
 
 // NewNode wires a node; fragments are attached by the machine builder.
@@ -68,15 +81,18 @@ func NewNode(eng *sim.Engine, id int, params hw.Params, costs Costs, net *hw.Net
 	cpu *hw.CPU, disk *hw.Disk, pool *buffer.Pool) *Node {
 	n := &Node{
 		ID: id, CPU: cpu, Disk: disk, Pool: pool,
-		frags:  make(map[string]*storage.Fragment),
-		aux:    make(map[string]map[int]*storage.AuxFragment),
-		joins:  make(map[int64]*joinWorker),
-		params: params, costs: costs, net: net, eng: eng,
+		frags:      make(map[string]*storage.Fragment),
+		aux:        make(map[string]map[int]*storage.AuxFragment),
+		joins:      make(map[int64]*joinWorker),
+		backups:    make(map[string]*storage.Fragment),
+		auxBackups: make(map[string]map[int]*storage.AuxFragment),
+		params:     params, costs: costs, net: net, eng: eng,
 	}
 	if reg := eng.Metrics(); reg != nil {
 		n.opsC = reg.Counter(fmt.Sprintf("node%d.ops", id))
 		n.tuplesC = reg.Counter(fmt.Sprintf("node%d.tuples_selected", id))
 		n.pagesC = reg.Counter(fmt.Sprintf("node%d.pages_scanned", id))
+		n.errsC = reg.Counter(fmt.Sprintf("node%d.op_errors", id))
 	}
 	return n
 }
@@ -97,8 +113,59 @@ func (n *Node) AddAux(relation string, attr int, aux *storage.AuxFragment) {
 	n.aux[relation][attr] = aux
 }
 
+// AddBackupFragment attaches this node's replica of its chain predecessor's
+// fragment (chained declustering: node i's primary fragment is mirrored on
+// node (i+1) mod p).
+func (n *Node) AddBackupFragment(relation string, f *storage.Fragment) {
+	if _, dup := n.backups[relation]; dup {
+		panic(fmt.Sprintf("exec: node %d already has a backup fragment of %s", n.ID, relation))
+	}
+	n.backups[relation] = f
+}
+
+// AddBackupAux attaches this node's replica of its chain predecessor's
+// auxiliary fragment.
+func (n *Node) AddBackupAux(relation string, attr int, aux *storage.AuxFragment) {
+	if n.auxBackups[relation] == nil {
+		n.auxBackups[relation] = make(map[int]*storage.AuxFragment)
+	}
+	n.auxBackups[relation][attr] = aux
+}
+
 // Fragment returns the node's fragment of a relation, or nil.
 func (n *Node) Fragment(relation string) *storage.Fragment { return n.frags[relation] }
+
+// BackupFragment returns the node's replica of its predecessor's fragment,
+// or nil.
+func (n *Node) BackupFragment(relation string) *storage.Fragment { return n.backups[relation] }
+
+// Crash fail-silences the node (it satisfies fault.NodeTarget): the inbox
+// drops traffic while down, and operators already in flight keep consuming
+// CPU and disk but have their replies suppressed — to the rest of the
+// machine the node simply goes quiet. Local data survives; this read-only
+// workload has no dirty state to lose. Crashing a crashed node is a no-op.
+func (n *Node) Crash() {
+	if n.down {
+		return
+	}
+	n.down = true
+	n.epoch++
+	n.net.Inbox(n.ID).SetDrop(true)
+}
+
+// Restart brings a crashed node back: the inbox accepts traffic again and
+// new operators run normally. Messages that arrived during the outage are
+// gone — senders are expected to time out and retry.
+func (n *Node) Restart() {
+	if !n.down {
+		return
+	}
+	n.down = false
+	n.net.Inbox(n.ID).SetDrop(false)
+}
+
+// Down reports whether the node is currently crashed.
+func (n *Node) Down() bool { return n.down }
 
 // ResetStats clears the node's operator counters (post warm-up). The
 // registry counters are reset wholesale by the caller via Registry.Reset.
@@ -114,6 +181,50 @@ func (n *Node) fragment(relation string) *storage.Fragment {
 		panic(fmt.Sprintf("exec: node %d has no fragment of relation %q", n.ID, relation))
 	}
 	return f
+}
+
+// fragmentFor resolves the primary or backup fragment for a request,
+// reporting an error (rather than panicking) so misrouted degraded-mode
+// work surfaces as a query failure.
+func (n *Node) fragmentFor(relation string, backup bool) (*storage.Fragment, error) {
+	m := n.frags
+	if backup {
+		m = n.backups
+	}
+	if f := m[relation]; f != nil {
+		return f, nil
+	}
+	return nil, fmt.Errorf("exec: node %d has no %s of relation %q", n.ID, fragKind(backup), relation)
+}
+
+func fragKind(backup bool) string {
+	if backup {
+		return "backup fragment"
+	}
+	return "fragment"
+}
+
+// send delivers an operator's reply unless the node crashed after the
+// operator started (epoch mismatch) or is down now: a crash fail-silences
+// in-flight work.
+func (n *Node) send(p *sim.Proc, epoch int, msg hw.Message) {
+	if n.down || n.epoch != epoch {
+		return
+	}
+	n.net.Send(p, n.CPU, msg)
+}
+
+// sendError reports an operator failure to the scheduler.
+func (n *Node) sendError(p *sim.Proc, epoch int, req int64, replyTo, attempt int, err error) {
+	n.OpErrors++
+	n.errsC.Inc()
+	n.send(p, epoch, hw.Message{
+		From: n.ID, To: replyTo, Bytes: controlBytes,
+		Payload: opError{
+			QueryID: req, Node: n.ID, Attempt: attempt,
+			Transient: errors.Is(err, hw.ErrDiskIO), Msg: err.Error(),
+		},
+	})
 }
 
 // Start launches the node's Operator Manager: a dispatcher that spawns one
@@ -152,35 +263,34 @@ func (n *Node) Start() {
 }
 
 // runSelect executes one selection operator: index traversal and tuple
-// fetches against the local fragment, then ships the qualifying tuples to
-// the scheduler. The final result message doubles as the completion signal.
+// fetches against the local (or backup) fragment, then ships the qualifying
+// tuples to the scheduler. The final result message doubles as the
+// completion signal; an access error becomes an opError report instead of a
+// process crash.
 func (n *Node) runSelect(p *sim.Proc, req startOp) {
 	p.SetQID(req.QueryID)
+	epoch := n.epoch
 	span := n.eng.StartSpan()
-	frag := n.fragment(req.Relation)
-	var acc storage.Access
-	switch req.Access {
-	case AccessClustered:
-		acc = frag.SearchClustered(req.Pred.Lo, req.Pred.Hi)
-	case AccessNonClustered:
-		acc = frag.SearchNonClustered(req.Pred.Attr, req.Pred.Lo, req.Pred.Hi)
-	case AccessTIDFetch:
-		acc = frag.FetchTIDs(req.TIDs)
-	case AccessSeqScan:
-		acc = frag.Scan(req.Pred.Attr, req.Pred.Lo, req.Pred.Hi)
-	default:
-		panic(fmt.Sprintf("exec: unknown access kind %v", req.Access))
+	acc, err := n.selectAccess(req)
+	if err == nil {
+		err = n.chargeAccess(p, acc)
 	}
-	n.chargeAccess(p, acc)
+	if err != nil {
+		n.sendError(p, epoch, req.QueryID, req.ReplyTo, req.Attempt, err)
+		if span.Active() {
+			span.End(n.ID, "op", "select "+req.Access.String()+" failed", req.QueryID, err.Error())
+		}
+		return
+	}
 	n.OpsExecuted++
 	n.TuplesShipped += int64(len(acc.Tuples))
 	n.opsC.Inc()
 	n.tuplesC.Add(int64(len(acc.Tuples)))
 
 	bytes := n.params.TupleBytes(len(acc.Tuples)) + controlBytes
-	n.net.Send(p, n.CPU, hw.Message{
+	n.send(p, epoch, hw.Message{
 		From: n.ID, To: req.ReplyTo, Bytes: bytes,
-		Payload: opResult{QueryID: req.QueryID, Node: n.ID, Tuples: len(acc.Tuples)},
+		Payload: opResult{QueryID: req.QueryID, Node: n.ID, Tuples: len(acc.Tuples), Attempt: req.Attempt},
 	})
 	if span.Active() {
 		span.End(n.ID, "op", "select "+req.Access.String(), req.QueryID,
@@ -188,20 +298,59 @@ func (n *Node) runSelect(p *sim.Proc, req startOp) {
 	}
 }
 
+// selectAccess resolves the fragment and runs the requested access method.
+func (n *Node) selectAccess(req startOp) (storage.Access, error) {
+	frag, err := n.fragmentFor(req.Relation, req.Backup)
+	if err != nil {
+		return storage.Access{}, err
+	}
+	switch req.Access {
+	case AccessClustered:
+		return frag.SearchClustered(req.Pred.Lo, req.Pred.Hi)
+	case AccessNonClustered:
+		return frag.SearchNonClustered(req.Pred.Attr, req.Pred.Lo, req.Pred.Hi)
+	case AccessTIDFetch:
+		return frag.FetchTIDs(req.TIDs)
+	case AccessSeqScan:
+		return frag.Scan(req.Pred.Attr, req.Pred.Lo, req.Pred.Hi), nil
+	default:
+		return storage.Access{}, fmt.Errorf("exec: unknown access kind %v", req.Access)
+	}
+}
+
 // runAuxLookup executes BERD's first step: search the local fragment of the
 // auxiliary relation and return the home processors of qualifying tuples.
 func (n *Node) runAuxLookup(p *sim.Proc, req auxLookup) {
 	p.SetQID(req.QueryID)
+	epoch := n.epoch
 	span := n.eng.StartSpan()
-	aux := n.aux[req.Relation][req.Pred.Attr]
-	if aux == nil {
-		panic(fmt.Sprintf("exec: node %d has no aux relation for %q attr %d",
-			n.ID, req.Relation, req.Pred.Attr))
+	auxes := n.aux
+	if req.Backup {
+		auxes = n.auxBackups
 	}
-	procs, tids, pages := aux.Lookup(req.Pred.Lo, req.Pred.Hi)
-	for _, pg := range pages {
-		n.Pool.Read(p, pg)
-		n.CPU.Execute(p, n.costs.IndexPageInstr)
+	aux := auxes[req.Relation][req.Pred.Attr]
+	var err error
+	var procs []int
+	var tids []int64
+	var pages []int
+	if aux == nil {
+		err = fmt.Errorf("exec: node %d has no %s aux relation for %q attr %d",
+			n.ID, fragKind(req.Backup), req.Relation, req.Pred.Attr)
+	} else {
+		procs, tids, pages = aux.Lookup(req.Pred.Lo, req.Pred.Hi)
+		for _, pg := range pages {
+			if err = n.Pool.Read(p, pg); err != nil {
+				break
+			}
+			n.CPU.Execute(p, n.costs.IndexPageInstr)
+		}
+	}
+	if err != nil {
+		n.sendError(p, epoch, req.QueryID, req.ReplyTo, req.Attempt, err)
+		if span.Active() {
+			span.End(n.ID, "op", "aux-lookup failed", req.QueryID, err.Error())
+		}
+		return
 	}
 	n.pagesC.Add(int64(len(pages)))
 	byProc := make(map[int][]int64)
@@ -211,9 +360,10 @@ func (n *Node) runAuxLookup(p *sim.Proc, req auxLookup) {
 	n.OpsExecuted++
 	n.opsC.Inc()
 	bytes := len(procs)*auxEntryBytes + controlBytes
-	n.net.Send(p, n.CPU, hw.Message{
+	n.send(p, epoch, hw.Message{
 		From: n.ID, To: req.ReplyTo, Bytes: bytes,
-		Payload: auxResult{QueryID: req.QueryID, Node: n.ID, TIDsByProc: byProc, Entries: len(procs)},
+		Payload: auxResult{QueryID: req.QueryID, Node: n.ID, TIDsByProc: byProc,
+			Entries: len(procs), Attempt: req.Attempt},
 	})
 	if span.Active() {
 		span.End(n.ID, "op", "aux-lookup", req.QueryID,
@@ -223,15 +373,38 @@ func (n *Node) runAuxLookup(p *sim.Proc, req auxLookup) {
 
 // chargeAccess replays an access-method page trace against the node's
 // buffer pool, disk and CPU: index pages cost IndexPageInstr each, data
-// pages cost the Table 2 per-page processing (14600 instructions).
-func (n *Node) chargeAccess(p *sim.Proc, acc storage.Access) {
+// pages cost the Table 2 per-page processing (14600 instructions). It stops
+// at the first failed page read and reports it.
+func (n *Node) chargeAccess(p *sim.Proc, acc storage.Access) error {
 	for _, pg := range acc.IndexPages {
-		n.Pool.Read(p, pg)
+		if err := n.Pool.Read(p, pg); err != nil {
+			return err
+		}
 		n.CPU.Execute(p, n.costs.IndexPageInstr)
 	}
 	for _, pg := range acc.DataPages {
-		n.Pool.Read(p, pg)
+		if err := n.Pool.Read(p, pg); err != nil {
+			return err
+		}
 		n.CPU.Execute(p, n.params.ReadPageInstr)
 	}
 	n.pagesC.Add(int64(len(acc.IndexPages) + len(acc.DataPages)))
+	return nil
+}
+
+// mustAccess and mustCharge adapt the error-returning storage and buffer
+// APIs for the aggregate/join paths, which do not participate in degraded
+// execution: an injected fault there fails the whole run (the engine turns
+// the panic into a run error) instead of a single query.
+func mustAccess(acc storage.Access, err error) storage.Access {
+	if err != nil {
+		panic(err)
+	}
+	return acc
+}
+
+func (n *Node) mustCharge(p *sim.Proc, acc storage.Access) {
+	if err := n.chargeAccess(p, acc); err != nil {
+		panic(err)
+	}
 }

@@ -35,6 +35,9 @@ type CampaignOptions struct {
 	Progress io.Writer
 	// Label names the campaign in the manifest and progress lines.
 	Label string
+	// IsTransient classifies job errors that warrant the harness's single
+	// automatic same-seed retry (see harness.Options.IsTransient).
+	IsTransient func(error) bool
 }
 
 // Campaign holds the completed figures plus the harness run manifest.
@@ -166,12 +169,16 @@ func RunCampaign(figs []Figure, opts Options, copts CampaignOptions) (Campaign, 
 		}
 	}
 
-	values, manifest := harness.Execute(jobs, harness.Options{
-		Workers:    copts.Workers,
-		JobTimeout: copts.JobTimeout,
-		Progress:   copts.Progress,
-		Label:      copts.Label,
+	values, manifest, err := harness.Execute(jobs, harness.Options{
+		Workers:     copts.Workers,
+		JobTimeout:  copts.JobTimeout,
+		Progress:    copts.Progress,
+		Label:       copts.Label,
+		IsTransient: copts.IsTransient,
 	})
+	if err != nil {
+		return Campaign{}, err
+	}
 
 	out := Campaign{Manifest: manifest}
 	j := 0
@@ -180,8 +187,10 @@ func RunCampaign(figs []Figure, opts Options, copts CampaignOptions) (Campaign, 
 		for _, name := range fb.fig.Strategies {
 			for _, mpl := range opts.MPLs {
 				if v := values[j]; v != nil {
+					res := v.(gamma.RunResult)
+					out.Manifest.Reports[j].FaultEvents = len(res.FaultLog)
 					fr.Points = append(fr.Points, Point{
-						Strategy: name, MPL: mpl, Result: v.(gamma.RunResult),
+						Strategy: name, MPL: mpl, Result: res,
 					})
 				}
 				j++

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/gamma"
 	"repro/internal/stats"
 	"repro/internal/storage"
@@ -119,6 +120,13 @@ type Options struct {
 	Seed    int64
 	SeedSet bool          `json:"SeedSet,omitempty"`
 	Config  *gamma.Config // overrides gamma.DefaultConfig if set
+
+	// Faults arms the deterministic fault injector on every machine the
+	// experiment builds; ChainedReplicas mirrors fragments on chain
+	// successors so degraded-mode execution can reroute. Both default off,
+	// leaving experiment output byte-identical to earlier revisions.
+	Faults          *fault.Spec `json:"Faults,omitempty"`
+	ChainedReplicas bool        `json:"ChainedReplicas,omitempty"`
 }
 
 // PaperScale returns the full-scale options used for EXPERIMENTS.md.
@@ -224,6 +232,7 @@ func ConfigFor(opts Options) gamma.Config {
 		cfg := *opts.Config
 		cfg.HW.NumProcessors = opts.Processors
 		cfg.Seed = opts.Seed
+		stampFaults(&cfg, opts)
 		return cfg
 	}
 	cfg := gamma.DefaultConfig()
@@ -232,7 +241,20 @@ func ConfigFor(opts Options) gamma.Config {
 	cfg.BufferPages = 2*perNode + 6
 	cfg.HW.NumProcessors = opts.Processors
 	cfg.Seed = opts.Seed
+	stampFaults(&cfg, opts)
 	return cfg
+}
+
+// stampFaults carries the experiment-level fault knobs onto the machine
+// config. Options wins only when it says something: a nil Options.Faults
+// leaves a Config override's own spec in place.
+func stampFaults(cfg *gamma.Config, opts Options) {
+	if opts.Faults != nil {
+		cfg.Faults = opts.Faults
+	}
+	if opts.ChainedReplicas {
+		cfg.ChainedReplicas = true
+	}
 }
 
 // Run executes the figure across its strategies and the MPL sweep. It is a

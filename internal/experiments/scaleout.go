@@ -105,12 +105,16 @@ func RunScaleSweepParallel(sweep ScaleSweep, opts Options, copts CampaignOptions
 		}
 	}
 
-	values, manifest := harness.Execute(jobs, harness.Options{
-		Workers:    copts.Workers,
-		JobTimeout: copts.JobTimeout,
-		Progress:   copts.Progress,
-		Label:      copts.Label,
+	values, manifest, err := harness.Execute(jobs, harness.Options{
+		Workers:     copts.Workers,
+		JobTimeout:  copts.JobTimeout,
+		Progress:    copts.Progress,
+		Label:       copts.Label,
+		IsTransient: copts.IsTransient,
 	})
+	if err != nil {
+		return out, manifest, err
+	}
 
 	j := 0
 	for _, procs := range sweep.Processors {

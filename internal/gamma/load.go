@@ -70,14 +70,20 @@ func (m *Machine) SimulateLoad() (LoadResult, error) {
 		// per-page processing (grid construction / auxiliary extraction).
 		for pass := 1; pass < res.ScanPasses; pass++ {
 			for pg := 0; pg < sourcePages; pg++ {
-				loader.Disk.Read(p, pg)
+				if err := loader.Disk.Read(p, pg); err != nil {
+					simErr = err
+					return
+				}
 				loader.CPU.Execute(p, params.ReadPageInstr)
 			}
 		}
 		// Placement pass: scan again, ship each node its tuples in full
 		// packets, and have each node write its fragment and indexes.
 		for pg := 0; pg < sourcePages; pg++ {
-			loader.Disk.Read(p, pg)
+			if err := loader.Disk.Read(p, pg); err != nil {
+				simErr = err
+				return
+			}
 			loader.CPU.Execute(p, params.ReadPageInstr)
 		}
 		// Shipping: every tuple crosses the network to its home (tuples
@@ -104,7 +110,10 @@ func (m *Machine) SimulateLoad() (LoadResult, error) {
 				defer gate.Done()
 				for pg := 0; pg < pages; pg++ {
 					node.CPU.Execute(wp, params.WritePageInstr)
-					node.Disk.Write(wp, pg)
+					if err := node.Disk.Write(wp, pg); err != nil {
+						simErr = err
+						return
+					}
 				}
 			})
 		}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/fault"
 	"repro/internal/hw"
 	"repro/internal/obs"
 	"repro/internal/rng"
@@ -44,6 +45,26 @@ type Config struct {
 	Metrics bool
 	// Seed drives all machine-level randomness (disk latencies, workload).
 	Seed int64
+
+	// Faults, when Enabled, arms the deterministic fault injector: the spec's
+	// events are applied as ordinary simulation events and the scheduler runs
+	// in degraded mode. Nil (the default) leaves runs byte-identical to a
+	// build without fault support.
+	Faults *fault.Spec
+	// ChainedReplicas mirrors every node's fragments (and BERD auxiliaries)
+	// on its chain successor, giving degraded-mode execution a backup to
+	// reroute to. Implied storage cost: 2x pages per node.
+	ChainedReplicas bool
+	// Retry overrides the degraded-mode retry/timeout policy; nil uses
+	// exec.DefaultRetryPolicy. Only consulted when Faults or ChainedReplicas
+	// put the scheduler in degraded mode.
+	Retry *exec.RetryPolicy
+}
+
+// degradedMode reports whether the scheduler should run with deadlines,
+// retries and replica rerouting.
+func (c *Config) degradedMode() bool {
+	return c.Faults.Enabled() || c.ChainedReplicas
 }
 
 // DefaultConfig returns the paper's configuration (Table 2, Section 6).
@@ -81,6 +102,11 @@ type Machine struct {
 	Nodes   []*exec.Node
 	Host    *exec.Host
 	Catalog *catalog.Catalog
+	// Injector is armed when Cfg.Faults is enabled (rebuilt on every reset,
+	// so each Run gets a fresh fault log); View is the scheduler's health
+	// picture, non-nil whenever the machine runs in degraded mode.
+	Injector *fault.Injector
+	View     *fault.View
 
 	relations []*relationEntry
 }
@@ -118,6 +144,9 @@ func Build(rel *storage.Relation, placement core.Placement, cfg Config) (*Machin
 	}
 	if cfg.BufferPages < 0 {
 		return nil, fmt.Errorf("gamma: negative buffer size %d", cfg.BufferPages)
+	}
+	if err := cfg.Faults.Validate(placement.Processors()); err != nil {
+		return nil, err
 	}
 	entry, err := distribute(rel, placement)
 	if err != nil {
@@ -235,6 +264,29 @@ func (m *Machine) reset() {
 			}
 			info.Nodes[i] = ns
 		}
+		// Chained declustering: mirror node i's fragment (and auxiliaries)
+		// on its chain successor, laid out on the successor's own disk. The
+		// replica holds the same tuples keyed by the same primary home, so a
+		// rerouted operator returns the identical result.
+		if cfg.ChainedReplicas {
+			for i := range nodes {
+				b := core.ChainBackup(i, p)
+				if b < 0 {
+					continue
+				}
+				alloc := allocs[b]
+				frag := storage.BuildFragment(i, entry.fragTuples[i], cfg.ClusteredAttr, cfg.Layout, alloc)
+				frag.AddIndex(cfg.ClusteredAttr, alloc)
+				for _, a := range cfg.NonClusteredAttrs {
+					frag.AddIndex(a, alloc)
+				}
+				nodes[b].AddBackupFragment(entry.rel.Name, frag)
+				for attr, perProc := range entry.auxByAttr {
+					aux := storage.BuildAux(i, perProc[i], cfg.Layout, alloc)
+					nodes[b].AddBackupAux(entry.rel.Name, attr, aux)
+				}
+			}
+		}
 		if err := cat.Register(info); err != nil {
 			panic(err) // unreachable: names deduplicated in AddRelation
 		}
@@ -249,6 +301,43 @@ func (m *Machine) reset() {
 	}
 	host.BERDFetchByTID = cfg.BERDFetchByTID
 	host.Start()
+
+	// Degraded mode and fault injection. Everything here is gated so that a
+	// machine without faults or replicas takes none of these branches and
+	// draws from no extra rng streams: its schedule stays byte-identical.
+	m.Injector, m.View = nil, nil
+	if cfg.degradedMode() {
+		view := fault.NewView(p)
+		policy := exec.DefaultRetryPolicy()
+		if cfg.Retry != nil {
+			policy = *cfg.Retry
+		}
+		backup := func(int) int { return -1 }
+		if cfg.ChainedReplicas {
+			backup = func(node int) int { return core.ChainBackup(node, p) }
+		}
+		host.Degraded = &exec.Degraded{
+			Policy: policy, View: view, Backup: backup,
+			Jitter: streams.Stream("retry.jitter"),
+		}
+		m.View = view
+		if cfg.Faults.Enabled() {
+			targets := fault.Targets{
+				Disks: make([]fault.DiskTarget, p),
+				Nodes: make([]fault.NodeTarget, p),
+				Net:   net,
+			}
+			for i, n := range nodes {
+				targets.Disks[i] = n.Disk
+				targets.Nodes[i] = n
+			}
+			if cfg.Faults.NetDropP > 0 || cfg.Faults.NetDupP > 0 {
+				net.EnableFaults(streams.Stream("fault.net"), cfg.Faults.NetDropP, cfg.Faults.NetDupP)
+			}
+			m.Injector = fault.NewInjector(eng, *cfg.Faults, view, targets, streams)
+			m.Injector.Start()
+		}
+	}
 
 	m.Eng = eng
 	m.Net = net

@@ -3,6 +3,8 @@ package gamma
 import (
 	"fmt"
 
+	"repro/internal/exec"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -49,6 +51,27 @@ type NodeUtil struct {
 	TuplesShipped int64   `json:"tuples_shipped"`
 }
 
+// Outcomes tallies per-query outcomes over the measurement window. All
+// zeroes except OK on the fault-free legacy path.
+type Outcomes struct {
+	OK       int `json:"ok"`
+	Retried  int `json:"retried"`
+	TimedOut int `json:"timed_out"`
+	Failed   int `json:"failed"`
+}
+
+// Succeeded reports the queries that produced full results.
+func (o Outcomes) Succeeded() int { return o.OK + o.Retried }
+
+// Total reports all completions, including abandoned queries.
+func (o Outcomes) Total() int { return o.OK + o.Retried + o.TimedOut + o.Failed }
+
+// String renders the tally in the fixed order the CI smoke greps for.
+func (o Outcomes) String() string {
+	return fmt.Sprintf("ok=%d retried=%d timed_out=%d failed=%d",
+		o.OK, o.Retried, o.TimedOut, o.Failed)
+}
+
 // RunResult summarizes a measurement window.
 type RunResult struct {
 	Strategy        string
@@ -78,6 +101,14 @@ type RunResult struct {
 	// on: latency histograms (queueing vs service per facility), buffer
 	// and network counters, query fan-out and response distributions.
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+
+	// Degraded-mode accounting. Outcomes tallies every completion in the
+	// window (Completed and the response statistics cover only the
+	// successful ones); RetriesTotal counts operator redispatches;
+	// FaultLog is the injector's applied-fault log for the whole run.
+	Outcomes     Outcomes       `json:"outcomes,omitempty"`
+	RetriesTotal int64          `json:"retries_total,omitempty"`
+	FaultLog     []fault.Record `json:"fault_log,omitempty"`
 }
 
 // String renders the headline numbers.
@@ -125,6 +156,8 @@ func (m *Machine) Run(mix workload.Mix, spec RunSpec) (RunResult, error) {
 		tuples      stats.Accumulator
 		diskReads0  int64
 		perClass    = map[string]*classAcc{}
+		outcomes    Outcomes
+		retriesTot  int64
 	)
 	target := spec.WarmupQueries + spec.MeasureQueries
 
@@ -136,17 +169,33 @@ func (m *Machine) Run(mix workload.Mix, spec RunSpec) (RunResult, error) {
 				res := m.Host.Execute(p, pred, access)
 				completed++
 				if measuring {
-					resp.Add(res.ResponseMS())
-					procs.Add(float64(res.ProcessorsUsed))
-					tuples.Add(float64(res.Tuples))
-					ca := perClass[cls.Name]
-					if ca == nil {
-						ca = &classAcc{}
-						perClass[cls.Name] = ca
+					switch res.Outcome {
+					case exec.OutcomeOK:
+						outcomes.OK++
+					case exec.OutcomeRetried:
+						outcomes.Retried++
+					case exec.OutcomeTimedOut:
+						outcomes.TimedOut++
+					case exec.OutcomeFailed:
+						outcomes.Failed++
 					}
-					ca.resp.Add(res.ResponseMS())
-					ca.procs.Add(float64(res.ProcessorsUsed))
-					measured++
+					retriesTot += int64(res.Retries)
+					// Abandoned queries count toward the window's completions
+					// but not its performance statistics: a timed-out query
+					// has no meaningful response time.
+					if res.Outcome.Succeeded() {
+						resp.Add(res.ResponseMS())
+						procs.Add(float64(res.ProcessorsUsed))
+						tuples.Add(float64(res.Tuples))
+						ca := perClass[cls.Name]
+						if ca == nil {
+							ca = &classAcc{}
+							perClass[cls.Name] = ca
+						}
+						ca.resp.Add(res.ResponseMS())
+						ca.procs.Add(float64(res.ProcessorsUsed))
+						measured++
+					}
 				}
 				if completed == spec.WarmupQueries && !measuring {
 					measuring = true
@@ -179,15 +228,22 @@ func (m *Machine) Run(mix workload.Mix, spec RunSpec) (RunResult, error) {
 		return RunResult{}, fmt.Errorf("gamma: empty measurement window")
 	}
 	out := RunResult{
-		Strategy:        m.Placement.Name(),
-		Mix:             mix.Name,
-		MPL:             spec.MPL,
-		Completed:       measured,
-		ElapsedSim:      elapsed,
-		ThroughputQPS:   float64(measured) / elapsed.Seconds(),
-		MeanProcsUsed:   procs.Mean(),
-		MeanTuples:      tuples.Mean(),
-		DiskReadsPerQry: float64(m.totalDiskReads()-diskReads0) / float64(measured),
+		Strategy:      m.Placement.Name(),
+		Mix:           mix.Name,
+		MPL:           spec.MPL,
+		Completed:     measured,
+		ElapsedSim:    elapsed,
+		ThroughputQPS: float64(measured) / elapsed.Seconds(),
+		MeanProcsUsed: procs.Mean(),
+		MeanTuples:    tuples.Mean(),
+		Outcomes:      outcomes,
+		RetriesTotal:  retriesTot,
+	}
+	if measured > 0 {
+		out.DiskReadsPerQry = float64(m.totalDiskReads()-diskReads0) / float64(measured)
+	}
+	if m.Injector != nil {
+		out.FaultLog = m.Injector.Log()
 	}
 	mean, _ := resp.Interval(10)
 	out.MeanResponseMS = mean

@@ -41,26 +41,39 @@ type Job struct {
 type Options struct {
 	// Workers bounds concurrency; <= 0 means runtime.GOMAXPROCS(0).
 	Workers int
-	// JobTimeout is each job's wall-clock budget; <= 0 disables it. A
+	// JobTimeout is each job's wall-clock budget; 0 disables it. A
 	// timed-out job is abandoned (Go cannot kill its goroutine; it keeps
 	// running until it returns, its result discarded) and recorded as a
-	// failure.
+	// failure. Negative budgets are a configuration error, rejected by
+	// Execute before any job runs.
 	JobTimeout time.Duration
 	// Progress receives a live "k/n done, eta" line per completed job;
 	// nil disables progress output.
 	Progress io.Writer
 	// Label names the campaign in the manifest and progress lines.
 	Label string
+	// IsTransient classifies a job error as transient. A job that fails
+	// with a transient error is retried once with the same seed before
+	// being recorded as a failure; the manifest's Attempts field exposes
+	// the retry. Nil disables retries.
+	IsTransient func(error) bool
 }
 
 // JobReport is one job's manifest entry.
 type JobReport struct {
-	ID       string  `json:"id"`
-	Seed     int64   `json:"seed"`
-	WallMS   float64 `json:"wall_ms"`
-	Error    string  `json:"error,omitempty"`
-	Panicked bool    `json:"panicked,omitempty"`
-	TimedOut bool    `json:"timed_out,omitempty"`
+	ID     string  `json:"id"`
+	Seed   int64   `json:"seed"`
+	WallMS float64 `json:"wall_ms"`
+	// Attempts counts executions of the job: 1 normally, 2 when a
+	// transient failure triggered the automatic same-seed retry.
+	Attempts int    `json:"attempts"`
+	Error    string `json:"error,omitempty"`
+	Panicked bool   `json:"panicked,omitempty"`
+	TimedOut bool   `json:"timed_out,omitempty"`
+	// FaultEvents is the number of injected faults the job's run applied
+	// (filled by the caller from the run result; the harness itself knows
+	// nothing about fault injection).
+	FaultEvents int `json:"fault_events,omitempty"`
 }
 
 // Failed reports whether the job ended in any failure (error, panic, or
@@ -163,10 +176,9 @@ type jobResult struct {
 	panicked bool
 }
 
-// runOne executes a single job under recover() and the wall-clock budget.
-func runOne(job Job, budget time.Duration) (any, JobReport) {
-	rep := JobReport{ID: job.ID, Seed: job.Seed}
-	start := time.Now()
+// runAttempt executes the job's Run once under recover() and the wall-clock
+// budget; timedOut marks an abandoned attempt.
+func runAttempt(job Job, budget time.Duration) (res jobResult, timedOut bool) {
 	ch := make(chan jobResult, 1)
 	go func() {
 		defer func() {
@@ -181,37 +193,60 @@ func runOne(job Job, budget time.Duration) (any, JobReport) {
 		ch <- jobResult{value: v, err: err}
 	}()
 
-	var res jobResult
 	if budget > 0 {
 		timer := time.NewTimer(budget)
 		select {
 		case res = <-ch:
 			timer.Stop()
 		case <-timer.C:
-			rep.WallMS = msSince(start)
-			rep.TimedOut = true
-			rep.Error = fmt.Sprintf("timed out after %v (job abandoned)", budget)
-			return nil, rep
+			return jobResult{}, true
 		}
 	} else {
 		res = <-ch
 	}
-	rep.WallMS = msSince(start)
-	if res.err != nil {
-		rep.Error = res.err.Error()
-		rep.Panicked = res.panicked
-		return nil, rep
+	return res, false
+}
+
+// runOne executes a single job, retrying once with the same seed when the
+// failure is transient per opts.IsTransient. Timeouts and panics never
+// retry: an abandoned goroutine is still running, and a panic is a bug.
+func runOne(job Job, opts Options) (any, JobReport) {
+	rep := JobReport{ID: job.ID, Seed: job.Seed}
+	start := time.Now()
+	for {
+		rep.Attempts++
+		res, timedOut := runAttempt(job, opts.JobTimeout)
+		if timedOut {
+			rep.WallMS = msSince(start)
+			rep.TimedOut = true
+			rep.Error = fmt.Sprintf("timed out after %v (job abandoned)", opts.JobTimeout)
+			return nil, rep
+		}
+		if res.err != nil {
+			if rep.Attempts == 1 && !res.panicked &&
+				opts.IsTransient != nil && opts.IsTransient(res.err) {
+				continue
+			}
+			rep.WallMS = msSince(start)
+			rep.Error = res.err.Error()
+			rep.Panicked = res.panicked
+			return nil, rep
+		}
+		rep.WallMS = msSince(start)
+		return res.value, rep
 	}
-	return res.value, rep
 }
 
 func msSince(t time.Time) float64 { return float64(time.Since(t)) / float64(time.Millisecond) }
 
 // Execute runs the jobs on a bounded worker pool and returns their values
-// (indexed like jobs; nil for failed jobs) plus the run manifest. It never
-// returns a non-nil error itself — per-job failures are in the manifest;
-// use Manifest.Err to turn them into one.
-func Execute(jobs []Job, opts Options) ([]any, Manifest) {
+// (indexed like jobs; nil for failed jobs) plus the run manifest. The error
+// reports invalid Options only — per-job failures are in the manifest; use
+// Manifest.Err to turn them into one.
+func Execute(jobs []Job, opts Options) ([]any, Manifest, error) {
+	if opts.JobTimeout < 0 {
+		return nil, Manifest{}, fmt.Errorf("harness: negative job timeout %v", opts.JobTimeout)
+	}
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -233,7 +268,7 @@ func Execute(jobs []Job, opts Options) ([]any, Manifest) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				v, rep := runOne(jobs[i], opts.JobTimeout)
+				v, rep := runOne(jobs[i], opts)
 				values[i], reports[i] = v, rep
 				mu.Lock()
 				done++
@@ -268,7 +303,7 @@ func Execute(jobs []Job, opts Options) ([]any, Manifest) {
 	if m.WallMS > 0 {
 		m.Speedup = m.SumJobMS / m.WallMS
 	}
-	return values, m
+	return values, m, nil
 }
 
 // progressLine prints one completion line with a remaining-time estimate:

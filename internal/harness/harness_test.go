@@ -21,7 +21,7 @@ func TestExecuteReturnsValuesInJobOrder(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		jobs = append(jobs, okJob(fmt.Sprintf("job%d", i), i*i))
 	}
-	values, m := Execute(jobs, Options{Workers: 4})
+	values, m, _ := Execute(jobs, Options{Workers: 4})
 	if len(values) != 20 {
 		t.Fatalf("values = %d", len(values))
 	}
@@ -61,7 +61,7 @@ func TestExecuteBoundsConcurrency(t *testing.T) {
 			return nil, nil
 		}})
 	}
-	_, m := Execute(jobs, Options{Workers: 3})
+	_, m, _ := Execute(jobs, Options{Workers: 3})
 	if got := peak.Load(); got > 3 {
 		t.Fatalf("observed %d concurrent jobs with 3 workers", got)
 	}
@@ -78,7 +78,7 @@ func TestPanicIsolation(t *testing.T) {
 		{ID: "boom", Seed: 42, Run: func() (any, error) { panic("injected") }},
 		okJob("after", "b"),
 	}
-	values, m := Execute(jobs, Options{Workers: 2})
+	values, m, _ := Execute(jobs, Options{Workers: 2})
 	if values[0] != "a" || values[2] != "b" {
 		t.Fatalf("survivor values lost: %v", values)
 	}
@@ -105,7 +105,7 @@ func TestJobError(t *testing.T) {
 		{ID: "bad", Run: func() (any, error) { return nil, errors.New("nope") }},
 		okJob("good", 7),
 	}
-	values, m := Execute(jobs, Options{Workers: 1})
+	values, m, _ := Execute(jobs, Options{Workers: 1})
 	if values[0] != nil || values[1] != 7 {
 		t.Fatalf("values = %v", values)
 	}
@@ -127,7 +127,7 @@ func TestJobTimeout(t *testing.T) {
 		okJob("quick", 1),
 		okJob("quick2", 2),
 	}
-	values, m := Execute(jobs, Options{Workers: 2, JobTimeout: 20 * time.Millisecond})
+	values, m, _ := Execute(jobs, Options{Workers: 2, JobTimeout: 20 * time.Millisecond})
 	if values[0] != nil {
 		t.Fatalf("timed-out job published a value: %v", values[0])
 	}
@@ -141,7 +141,7 @@ func TestJobTimeout(t *testing.T) {
 }
 
 func TestDefaultWorkersAndEmptyJobSet(t *testing.T) {
-	values, m := Execute(nil, Options{})
+	values, m, _ := Execute(nil, Options{})
 	if len(values) != 0 || m.Jobs != 0 || m.Failed != 0 {
 		t.Fatalf("empty run: %v %+v", values, m)
 	}
@@ -158,7 +158,7 @@ func TestProgressLines(t *testing.T) {
 	jobs := []Job{okJob("a", 1), okJob("b", 2), {ID: "c", Run: func() (any, error) {
 		return nil, errors.New("x")
 	}}}
-	Execute(jobs, Options{Workers: 1, Progress: &buf, Label: "camp"})
+	_, _, _ = Execute(jobs, Options{Workers: 1, Progress: &buf, Label: "camp"})
 	out := buf.String()
 	if strings.Count(out, "\n") != 3 {
 		t.Fatalf("want one line per job:\n%s", out)
@@ -171,8 +171,8 @@ func TestProgressLines(t *testing.T) {
 }
 
 func TestManifestWriteAndMerge(t *testing.T) {
-	_, m1 := Execute([]Job{okJob("a", 1)}, Options{Workers: 2, Label: "one"})
-	_, m2 := Execute([]Job{okJob("b", 2), {ID: "bad", Run: func() (any, error) {
+	_, m1, _ := Execute([]Job{okJob("a", 1)}, Options{Workers: 2, Label: "one"})
+	_, m2, _ := Execute([]Job{okJob("b", 2), {ID: "bad", Run: func() (any, error) {
 		return nil, errors.New("x")
 	}}}, Options{Workers: 4, Label: "two"})
 
@@ -199,7 +199,7 @@ func TestManifestWriteAndMerge(t *testing.T) {
 }
 
 func TestManifestRecordsEnv(t *testing.T) {
-	_, m := Execute([]Job{{ID: "a", Run: func() (any, error) { return 1, nil }}}, Options{Workers: 1})
+	_, m, _ := Execute([]Job{{ID: "a", Run: func() (any, error) { return 1, nil }}}, Options{Workers: 1})
 	if m.Env.GoVersion != runtime.Version() {
 		t.Errorf("GoVersion = %q, want %q", m.Env.GoVersion, runtime.Version())
 	}
@@ -225,5 +225,77 @@ func TestManifestRecordsEnv(t *testing.T) {
 	}
 	if back.Env != m.Env {
 		t.Errorf("round-tripped env = %+v", back.Env)
+	}
+}
+
+func TestNegativeJobTimeoutIsAnError(t *testing.T) {
+	values, m, err := Execute([]Job{okJob("a", 1)}, Options{Workers: 1, JobTimeout: -time.Second})
+	if err == nil {
+		t.Fatal("negative budget did not error")
+	}
+	if values != nil || m.Jobs != 0 {
+		t.Fatalf("rejected run still produced output: %v %+v", values, m)
+	}
+}
+
+func TestZeroJobTimeoutMeansNoBudget(t *testing.T) {
+	_, m, err := Execute([]Job{okJob("a", 1)}, Options{Workers: 1, JobTimeout: 0})
+	if err != nil || m.Failed != 0 {
+		t.Fatalf("zero budget run failed: %v %+v", err, m.Failures())
+	}
+}
+
+func TestManifestRecordsAttempts(t *testing.T) {
+	_, m, _ := Execute([]Job{okJob("a", 1)}, Options{Workers: 1})
+	if m.Reports[0].Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", m.Reports[0].Attempts)
+	}
+}
+
+// A transient job failure gets exactly one automatic same-seed retry; a
+// persistent one fails after the second attempt.
+func TestTransientRetry(t *testing.T) {
+	transient := errors.New("transient wobble")
+	isTransient := func(err error) bool { return errors.Is(err, transient) }
+
+	var flaky atomic.Int32
+	jobs := []Job{
+		{ID: "flaky", Seed: 5, Run: func() (any, error) {
+			if flaky.Add(1) == 1 {
+				return nil, transient
+			}
+			return "recovered", nil
+		}},
+		{ID: "doomed", Run: func() (any, error) { return nil, transient }},
+		{ID: "hard", Run: func() (any, error) { return nil, errors.New("hard failure") }},
+	}
+	values, m, err := Execute(jobs, Options{Workers: 1, IsTransient: isTransient})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if values[0] != "recovered" {
+		t.Fatalf("flaky job not retried: %v", values[0])
+	}
+	if m.Reports[0].Attempts != 2 || m.Reports[0].Failed() {
+		t.Fatalf("flaky report = %+v", m.Reports[0])
+	}
+	if m.Reports[1].Attempts != 2 || !m.Reports[1].Failed() {
+		t.Fatalf("doomed report = %+v", m.Reports[1])
+	}
+	if m.Reports[2].Attempts != 1 || !m.Reports[2].Failed() {
+		t.Fatalf("hard failure retried: %+v", m.Reports[2])
+	}
+}
+
+// Without an IsTransient classifier no failure retries.
+func TestNoRetryWithoutClassifier(t *testing.T) {
+	var calls atomic.Int32
+	jobs := []Job{{ID: "j", Run: func() (any, error) {
+		calls.Add(1)
+		return nil, errors.New("x")
+	}}}
+	_, m, _ := Execute(jobs, Options{Workers: 1})
+	if calls.Load() != 1 || m.Reports[0].Attempts != 1 {
+		t.Fatalf("calls = %d, attempts = %d", calls.Load(), m.Reports[0].Attempts)
 	}
 }

@@ -1,6 +1,7 @@
 package hw
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/obs"
@@ -8,6 +9,14 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
+
+// ErrDiskFailed marks requests rejected or aborted by a fail-stop disk.
+// It is permanent: the disk stays dead until Repair.
+var ErrDiskFailed = errors.New("disk failed (fail-stop)")
+
+// ErrDiskIO marks a transient I/O error: the request failed but the disk is
+// healthy, so a retry of the same request may succeed.
+var ErrDiskIO = errors.New("transient disk I/O error")
 
 // Disk models one node's disk with an elevator (SCAN) scheduler [TP72], the
 // policy the paper's Disk Manager uses. Physical pages are laid out on a
@@ -43,6 +52,14 @@ type Disk struct {
 	wait                   stats.Accumulator // queueing delay before the arm starts, ms
 	util                   stats.TimeWeighted
 
+	// Fault-injection state. All fields stay at their zero values unless a
+	// fault.Injector drives them, so the healthy hot path costs one branch.
+	failed     bool                // fail-stop: reject everything until Repair
+	failNext   int                 // next N reads fail with a transient error
+	degrade    float64             // latency multiplier; <=1 means nominal
+	pendingErr map[*sim.Proc]error // error to deliver to a parked requester
+	ioErrors   int64               // requests that completed with an error
+
 	// Registry handles (nil-safe when metrics are disabled).
 	waitH *obs.Histogram
 	svcH  *obs.Histogram
@@ -76,25 +93,40 @@ func NewDisk(e *sim.Engine, name string, params Params, cpu *CPU, lat *rng.Sourc
 func (d *Disk) SetNode(node int) { d.node = node }
 
 // Read fetches the physical page into memory, blocking the caller for queue,
-// mechanism, and FIFO-transfer time.
-func (d *Disk) Read(p *sim.Proc, physPage int) {
-	d.access(p, physPage, false)
+// mechanism, and FIFO-transfer time. An error means the page never reached
+// memory: the disk is failed, the read was hit by an injected transient
+// error, or the page address is out of range.
+func (d *Disk) Read(p *sim.Proc, physPage int) error {
+	if err := d.access(p, physPage, false); err != nil {
+		return err
+	}
 	// Page is in the channel FIFO; move it to memory on the CPU.
 	d.cpu.ExecuteTransfer(p, d.params.XferPageInstr)
+	return nil
 }
 
 // Write stores the physical page from memory, blocking the caller until the
 // arm completes (synchronous, durable write).
-func (d *Disk) Write(p *sim.Proc, physPage int) {
+func (d *Disk) Write(p *sim.Proc, physPage int) error {
 	// Move memory -> channel FIFO first, then run the arm.
 	d.cpu.ExecuteTransfer(p, d.params.XferPageInstr)
-	d.access(p, physPage, true)
+	return d.access(p, physPage, true)
 }
 
-func (d *Disk) access(p *sim.Proc, physPage int, write bool) {
+func (d *Disk) access(p *sim.Proc, physPage int, write bool) error {
 	if physPage < 0 || physPage >= d.params.PagesPerDisk() {
-		panic(fmt.Sprintf("hw: %s: physical page %d out of range [0,%d)",
-			d.name, physPage, d.params.PagesPerDisk()))
+		d.ioErrors++
+		return fmt.Errorf("hw: %s: physical page %d out of range [0,%d)",
+			d.name, physPage, d.params.PagesPerDisk())
+	}
+	if d.failed {
+		d.ioErrors++
+		return fmt.Errorf("hw: %s: %s p%d: %w", d.name, verb(write), physPage, ErrDiskFailed)
+	}
+	if !write && d.failNext > 0 {
+		d.failNext--
+		d.ioErrors++
+		return fmt.Errorf("hw: %s: read p%d: %w", d.name, physPage, ErrDiskIO)
 	}
 	d.nextSeq++
 	d.queue = append(d.queue, diskReq{
@@ -106,7 +138,66 @@ func (d *Disk) access(p *sim.Proc, physPage int, write bool) {
 		d.util.Set(float64(d.eng.Now()), 1)
 		d.startNext()
 	}
-	p.Park() // woken when our transfer completes
+	p.Park() // woken when our transfer completes (or the disk dies under us)
+	if d.pendingErr != nil {
+		if err, ok := d.pendingErr[p]; ok {
+			delete(d.pendingErr, p)
+			return err
+		}
+	}
+	return nil
+}
+
+// failRequest records an error for a parked requester and wakes it; the
+// requester finds the error in pendingErr when it resumes inside access.
+func (d *Disk) failRequest(p *sim.Proc, err error) {
+	if d.pendingErr == nil {
+		d.pendingErr = make(map[*sim.Proc]error)
+	}
+	d.pendingErr[p] = err
+	d.ioErrors++
+	d.eng.Wake(p)
+}
+
+// Fail makes the disk fail-stop: every queued request errors out now, the
+// in-flight transfer aborts when its arm event fires, and new requests are
+// rejected until Repair. Failing a failed disk is a no-op.
+func (d *Disk) Fail() {
+	if d.failed {
+		return
+	}
+	d.failed = true
+	for _, req := range d.queue {
+		d.failRequest(req.p, fmt.Errorf("hw: %s: %s p%d: %w",
+			d.name, verb(req.write), req.physPage, ErrDiskFailed))
+	}
+	d.queue = d.queue[:0]
+}
+
+// Repair brings a failed disk back. Requests issued after Repair succeed;
+// nothing lost during the outage is replayed.
+func (d *Disk) Repair() { d.failed = false }
+
+// Failed reports whether the disk is currently fail-stopped.
+func (d *Disk) Failed() bool { return d.failed }
+
+// FailNextReads arms n one-shot transient errors: the next n reads fail
+// with ErrDiskIO without touching the arm. Calls accumulate.
+func (d *Disk) FailNextReads(n int) {
+	if n > 0 {
+		d.failNext += n
+	}
+}
+
+// SetLatencyFactor scales every subsequent request's mechanism time by f,
+// modeling a degraded drive (vibration, remapped sectors, thermal
+// throttling). f <= 1 restores nominal service.
+func (d *Disk) SetLatencyFactor(f float64) {
+	if f <= 1 {
+		d.degrade = 0
+		return
+	}
+	d.degrade = f
 }
 
 // startNext picks the next request per the elevator policy and runs it.
@@ -118,7 +209,7 @@ func (d *Disk) startNext() {
 	req := d.queue[idx]
 	d.queue = append(d.queue[:idx], d.queue[idx+1:]...)
 
-	t := d.serviceTime(req.physPage)
+	t := d.stretch(d.serviceTime(req.physPage))
 	d.svc.Add(t.Milliseconds())
 	d.svcH.Observe(t.Milliseconds())
 	waitMS := sim.Duration(d.eng.Now() - req.arrived).Milliseconds()
@@ -146,6 +237,17 @@ func (d *Disk) HandleEvent() {
 		d.curSpan.End(d.node, "disk",
 			fmt.Sprintf("%s p%d", verb(req.write), req.physPage), req.qid,
 			fmt.Sprintf("cyl %d", d.params.Cylinder(req.physPage)))
+	}
+	if d.failed {
+		// The disk fail-stopped while this transfer was in flight: the
+		// requester gets an error instead of its page, and the queue was
+		// already flushed by Fail.
+		d.failRequest(req.p, fmt.Errorf("hw: %s: %s p%d: %w",
+			d.name, verb(req.write), req.physPage, ErrDiskFailed))
+		d.busy = false
+		d.cur = diskReq{}
+		d.util.Set(float64(d.eng.Now()), 0)
+		return
 	}
 	d.eng.Wake(req.p)
 	if len(d.queue) > 0 {
@@ -215,6 +317,14 @@ func (d *Disk) serviceTime(physPage int) sim.Duration {
 	return seek + rot + d.params.PageTransferTime()
 }
 
+// stretch applies the injected latency-degradation factor, if any.
+func (d *Disk) stretch(t sim.Duration) sim.Duration {
+	if d.degrade > 1 {
+		return sim.Duration(float64(t) * d.degrade)
+	}
+	return t
+}
+
 func abs(x int) int {
 	if x < 0 {
 		return -x
@@ -230,6 +340,10 @@ func (d *Disk) Writes() int64 { return d.writes }
 
 // SequentialHits reports transfers that were detected as sequential.
 func (d *Disk) SequentialHits() int64 { return d.seqHits }
+
+// IOErrors reports requests that completed with an error (injected
+// transients, fail-stop rejections and aborts, bad page addresses).
+func (d *Disk) IOErrors() int64 { return d.ioErrors }
 
 // QueueLen reports the number of waiting requests.
 func (d *Disk) QueueLen() int { return len(d.queue) }

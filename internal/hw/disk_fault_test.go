@@ -1,0 +1,121 @@
+package hw
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Fault-injection behaviors of the disk model: fail-stop rejection and
+// in-flight abort, transient read errors, and latency degradation. These are
+// the surfaces fault.Injector drives (DESIGN.md §8).
+
+func TestDiskFailStopRejectsUntilRepair(t *testing.T) {
+	e, _, _, disk := testRig(t)
+	var errs []error
+	e.Spawn("p", func(pr *sim.Proc) {
+		errs = append(errs, disk.Read(pr, 10))
+		disk.Fail()
+		errs = append(errs, disk.Read(pr, 11))
+		errs = append(errs, disk.Write(pr, 12))
+		disk.Repair()
+		errs = append(errs, disk.Read(pr, 13))
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if errs[0] != nil {
+		t.Fatalf("healthy read failed: %v", errs[0])
+	}
+	if !errors.Is(errs[1], ErrDiskFailed) || !errors.Is(errs[2], ErrDiskFailed) {
+		t.Fatalf("fail-stopped disk served requests: read=%v write=%v", errs[1], errs[2])
+	}
+	if errs[3] != nil {
+		t.Fatalf("repaired disk rejected a read: %v", errs[3])
+	}
+	if disk.Reads() != 2 {
+		t.Fatalf("reads = %d, want 2 (rejected requests must not count)", disk.Reads())
+	}
+}
+
+// Fail while requests are queued behind an in-service one: everyone parked
+// on the disk gets ErrDiskFailed instead of blocking forever.
+func TestDiskFailAbortsQueuedAndInFlight(t *testing.T) {
+	e, p, _, disk := testRig(t)
+	var errs [3]error
+	e.Spawn("inflight", func(pr *sim.Proc) { errs[0] = disk.Read(pr, 500*p.PagesPerCylinder) })
+	for i := 1; i <= 2; i++ {
+		i := i
+		e.Spawn("queued", func(pr *sim.Proc) {
+			pr.Hold(sim.Microsecond)
+			errs[i] = disk.Read(pr, i)
+		})
+	}
+	e.Spawn("killer", func(pr *sim.Proc) {
+		pr.Hold(2 * sim.Microsecond) // all three requests are on the disk now
+		disk.Fail()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, err := range errs {
+		if !errors.Is(err, ErrDiskFailed) {
+			t.Fatalf("request %d: err = %v, want ErrDiskFailed", i, err)
+		}
+	}
+}
+
+func TestDiskFailNextReadsTransient(t *testing.T) {
+	e, _, _, disk := testRig(t)
+	disk.FailNextReads(2)
+	var errs []error
+	e.Spawn("p", func(pr *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			errs = append(errs, disk.Read(pr, 10+i))
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(errs[0], ErrDiskIO) || !errors.Is(errs[1], ErrDiskIO) {
+		t.Fatalf("armed transients did not fire: %v, %v", errs[0], errs[1])
+	}
+	if errs[2] != nil {
+		t.Fatalf("disk did not recover after the burst: %v", errs[2])
+	}
+	if disk.IOErrors() != 2 {
+		t.Fatalf("io errors = %d, want 2", disk.IOErrors())
+	}
+	if disk.Reads() != 1 {
+		t.Fatalf("reads = %d, want 1 (transient failures must not count)", disk.Reads())
+	}
+}
+
+func TestDiskLatencyFactorStretchesService(t *testing.T) {
+	timeRead := func(factor float64) sim.Duration {
+		e, _, _, disk := testRig(t)
+		disk.SetLatencyFactor(factor)
+		var elapsed sim.Duration
+		e.Spawn("p", func(pr *sim.Proc) {
+			start := pr.Now()
+			if err := disk.Read(pr, 0); err != nil {
+				t.Fatal(err)
+			}
+			elapsed = sim.Duration(pr.Now() - start)
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return elapsed
+	}
+	nominal := timeRead(1)
+	degraded := timeRead(4)
+	if degraded <= nominal {
+		t.Fatalf("degraded read (%v) not slower than nominal (%v)", degraded, nominal)
+	}
+	if restored := timeRead(0.5); restored != nominal {
+		// Factors <= 1 restore nominal service; they never speed the disk up.
+		t.Fatalf("factor 0.5 read %v, want nominal %v", restored, nominal)
+	}
+}

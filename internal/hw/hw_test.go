@@ -198,11 +198,18 @@ func TestDiskWriteChargesCPUAndArm(t *testing.T) {
 	}
 }
 
-func TestDiskOutOfRangePagePanics(t *testing.T) {
+func TestDiskOutOfRangePageErrors(t *testing.T) {
 	e, p, _, disk := testRig(t)
-	e.Spawn("p", func(pr *sim.Proc) { disk.Read(pr, p.PagesPerDisk()) })
-	if err := e.Run(); err == nil {
+	var readErr error
+	e.Spawn("p", func(pr *sim.Proc) { readErr = disk.Read(pr, p.PagesPerDisk()) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if readErr == nil {
 		t.Fatal("out-of-range page should error")
+	}
+	if disk.Reads() != 0 {
+		t.Fatalf("rejected read was counted: reads = %d", disk.Reads())
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/obs"
+	"repro/internal/rng"
 	"repro/internal/sim"
 )
 
@@ -40,6 +41,89 @@ type Network struct {
 	// Registry handles (nil-safe when metrics are disabled).
 	packetsC *obs.Counter
 	bytesC   *obs.Counter
+
+	faults *netFaults // nil unless fault injection armed them
+}
+
+// netFaults holds the interconnect's fault-injection state: per-destination
+// forced drop/duplication counters plus optional probabilistic drop and
+// duplication driven by a dedicated rng stream. Faults act on whole logical
+// messages at delivery time — the wire and CPU costs are already paid, the
+// receiver just never sees (or sees twice) the payload.
+type netFaults struct {
+	src        *rng.Source
+	dropP      float64
+	dupP       float64
+	drop, dup  []int // per-destination forced counts
+	dropped    int64
+	duplicated int64
+}
+
+// EnableFaults arms the interconnect fault hooks. src drives the
+// probabilistic drop (dropP) and duplication (dupP) decisions; pass zero
+// probabilities for a purely scheduled (DropNext/DupNext) setup.
+func (n *Network) EnableFaults(src *rng.Source, dropP, dupP float64) {
+	n.faults = &netFaults{
+		src: src, dropP: dropP, dupP: dupP,
+		drop: make([]int, len(n.nics)), dup: make([]int, len(n.nics)),
+	}
+}
+
+// DropNext makes the next k logical messages addressed to node vanish after
+// transmission. A no-op unless EnableFaults was called.
+func (n *Network) DropNext(node, k int) {
+	if n.faults != nil && node >= 0 && node < len(n.nics) {
+		n.faults.drop[node] += k
+	}
+}
+
+// DupNext makes the next k logical messages addressed to node arrive twice.
+// A no-op unless EnableFaults was called.
+func (n *Network) DupNext(node, k int) {
+	if n.faults != nil && node >= 0 && node < len(n.nics) {
+		n.faults.dup[node] += k
+	}
+}
+
+// Dropped reports logical messages discarded by fault injection.
+func (n *Network) Dropped() int64 {
+	if n.faults == nil {
+		return 0
+	}
+	return n.faults.dropped
+}
+
+// Duplicated reports logical messages delivered twice by fault injection.
+func (n *Network) Duplicated() int64 {
+	if n.faults == nil {
+		return 0
+	}
+	return n.faults.duplicated
+}
+
+// deliveries decides how many copies of a logical message addressed to node
+// the receiver sees: 1 normally, 0 for a drop, 2 for a duplication. Forced
+// counters win over the probabilistic draws so scheduled specs stay exact.
+func (f *netFaults) deliveries(node int) int {
+	if f.drop[node] > 0 {
+		f.drop[node]--
+		f.dropped++
+		return 0
+	}
+	if f.dup[node] > 0 {
+		f.dup[node]--
+		f.duplicated++
+		return 2
+	}
+	if f.dropP > 0 && f.src.Float64() < f.dropP {
+		f.dropped++
+		return 0
+	}
+	if f.dupP > 0 && f.src.Float64() < f.dupP {
+		f.duplicated++
+		return 2
+	}
+	return 1
 }
 
 // NewNetwork wires one NIC per CPU. Each NIC gets a receive-interrupt
@@ -128,8 +212,17 @@ func (n *Network) Send(p *sim.Proc, cpu *CPU, msg Message) {
 			})
 		}
 		if last {
-			// Deliver the logical message with the final packet.
-			n.nics[msg.To].rx.Put(Message{From: msg.From, To: msg.To, Bytes: chunk, Payload: msg.Payload})
+			// Deliver the logical message with the final packet. Fault
+			// injection acts here, on the whole logical message: a drop
+			// loses the payload after the wire cost is paid, a duplication
+			// hands the receiver the same payload twice.
+			copies := 1
+			if n.faults != nil {
+				copies = n.faults.deliveries(msg.To)
+			}
+			for c := 0; c < copies; c++ {
+				n.nics[msg.To].rx.Put(Message{From: msg.From, To: msg.To, Bytes: chunk, Payload: msg.Payload})
+			}
 		} else {
 			n.nics[msg.To].rx.Put(Message{From: msg.From, To: msg.To, Bytes: chunk})
 		}

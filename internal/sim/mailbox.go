@@ -24,7 +24,10 @@ type Mailbox[T any] struct {
 	whead  int
 	wcount int
 
-	puts int64
+	puts     int64
+	dropped  int64
+	closed   bool
+	dropping bool
 }
 
 // NewMailbox creates a mailbox attached to the engine.
@@ -36,8 +39,13 @@ func NewMailbox[T any](e *Engine, name string) *Mailbox[T] {
 func (m *Mailbox[T]) Name() string { return m.name }
 
 // Put enqueues a message and wakes one waiting consumer, if any. It never
-// blocks and may be called from event callbacks as well as processes.
+// blocks and may be called from event callbacks as well as processes. While
+// the mailbox is closed or in drop mode the message is silently discarded.
 func (m *Mailbox[T]) Put(v T) {
+	if m.closed || m.dropping {
+		m.dropped++
+		return
+	}
 	if m.count == len(m.buf) {
 		grown := make([]T, max(8, 2*len(m.buf)))
 		for i := 0; i < m.count; i++ {
@@ -49,32 +57,125 @@ func (m *Mailbox[T]) Put(v T) {
 	m.buf[(m.head+m.count)&(len(m.buf)-1)] = v
 	m.count++
 	m.puts++
-	if m.wcount > 0 {
+	m.wakeOne()
+}
+
+// wakeOne pops waiter-ring slots until it finds a live consumer to wake.
+// Slots can hold nil (vacated by a GetTimeout timer) or a killed/finished
+// process; waking those would either be lost or corrupt the single-control
+// invariant, so they are skipped.
+func (m *Mailbox[T]) wakeOne() {
+	for m.wcount > 0 {
 		p := m.wbuf[m.whead]
 		m.wbuf[m.whead] = nil
 		m.whead = (m.whead + 1) & (len(m.wbuf) - 1)
 		m.wcount--
+		if p == nil || p.finished || p.killed {
+			continue
+		}
 		m.eng.Wake(p)
+		return
 	}
 }
 
-// Get removes and returns the oldest message, blocking the calling process
-// until one is available.
-func (m *Mailbox[T]) Get(p *Proc) T {
-	for m.count == 0 {
-		if m.wcount == len(m.wbuf) {
-			grown := make([]*Proc, max(4, 2*len(m.wbuf)))
-			for i := 0; i < m.wcount; i++ {
-				grown[i] = m.wbuf[(m.whead+i)&(len(m.wbuf)-1)]
-			}
-			m.wbuf = grown
-			m.whead = 0
+// wakeAll releases every live waiter (used by Close).
+func (m *Mailbox[T]) wakeAll() {
+	for m.wcount > 0 {
+		m.wakeOne()
+	}
+}
+
+// addWaiter registers p at the tail of the waiting-consumer ring.
+func (m *Mailbox[T]) addWaiter(p *Proc) {
+	if m.wcount == len(m.wbuf) {
+		grown := make([]*Proc, max(4, 2*len(m.wbuf)))
+		for i := 0; i < m.wcount; i++ {
+			grown[i] = m.wbuf[(m.whead+i)&(len(m.wbuf)-1)]
 		}
-		m.wbuf[(m.whead+m.wcount)&(len(m.wbuf)-1)] = p
-		m.wcount++
+		m.wbuf = grown
+		m.whead = 0
+	}
+	m.wbuf[(m.whead+m.wcount)&(len(m.wbuf)-1)] = p
+	m.wcount++
+}
+
+// removeWaiter vacates p's slot in the waiting-consumer ring without
+// compacting it (wakeOne skips nil slots) and reports whether p was found.
+// A waker must remove its target from the ring before waking it: that is
+// what guarantees a Put and a timeout can never both wake the same parked
+// process.
+func (m *Mailbox[T]) removeWaiter(p *Proc) bool {
+	for i := 0; i < m.wcount; i++ {
+		idx := (m.whead + i) & (len(m.wbuf) - 1)
+		if m.wbuf[idx] == p {
+			m.wbuf[idx] = nil
+			return true
+		}
+	}
+	return false
+}
+
+// Get removes and returns the oldest message, blocking the calling process
+// until one is available. Get on a closed, empty mailbox panics: callers
+// that must survive closure use Recv.
+func (m *Mailbox[T]) Get(p *Proc) T {
+	v, ok := m.Recv(p)
+	if !ok {
+		panic("sim: Get on closed mailbox " + m.name)
+	}
+	return v
+}
+
+// Recv removes and returns the oldest message, blocking the calling process
+// until one is available. It returns ok=false when the mailbox is closed
+// and empty.
+func (m *Mailbox[T]) Recv(p *Proc) (T, bool) {
+	for m.count == 0 {
+		if m.closed {
+			var zero T
+			return zero, false
+		}
+		m.addWaiter(p)
 		p.Park()
 	}
-	return m.pop()
+	return m.pop(), true
+}
+
+// GetTimeout removes and returns the oldest message, blocking the calling
+// process until one is available or d has elapsed. It returns ok=false on
+// timeout or when the mailbox is closed and empty. When a message and the
+// deadline land on the same instant, the message wins.
+func (m *Mailbox[T]) GetTimeout(p *Proc, d Duration) (T, bool) {
+	if m.count > 0 {
+		return m.pop(), true
+	}
+	if m.closed {
+		var zero T
+		return zero, false
+	}
+	timedOut := false
+	m.eng.Schedule(d, func() {
+		// Fire only if p is still parked in this mailbox's waiter ring.
+		// Removing it before waking means a concurrent Put can no longer
+		// pop (and wake) the same slot — exactly one waker wins.
+		if m.removeWaiter(p) {
+			timedOut = true
+			m.eng.Wake(p)
+		}
+	})
+	for m.count == 0 && !timedOut {
+		if m.closed {
+			var zero T
+			return zero, false
+		}
+		m.addWaiter(p)
+		p.Park()
+	}
+	if m.count > 0 {
+		return m.pop(), true
+	}
+	var zero T
+	return zero, false
 }
 
 // TryGet removes and returns the oldest message without blocking. The second
@@ -102,6 +203,46 @@ func (m *Mailbox[T]) Len() int { return m.count }
 
 // Puts reports the total number of messages ever Put.
 func (m *Mailbox[T]) Puts() int64 { return m.puts }
+
+// Close marks the mailbox closed: the backlog is discarded, future Puts are
+// dropped, and every blocked consumer is released (Recv and GetTimeout
+// return ok=false; Get panics). Closing twice is a no-op.
+func (m *Mailbox[T]) Close() {
+	if m.closed {
+		return
+	}
+	m.closed = true
+	m.flush()
+	m.wakeAll()
+}
+
+// Closed reports whether Close has been called.
+func (m *Mailbox[T]) Closed() bool { return m.closed }
+
+// SetDrop switches the mailbox into (or out of) drop mode: while dropping,
+// Put discards messages instead of queueing them — the shape of a crashed
+// receiver whose interface is down. Entering drop mode discards the backlog
+// too; blocked consumers stay parked (the receiver is "down", not closed).
+func (m *Mailbox[T]) SetDrop(drop bool) {
+	m.dropping = drop
+	if drop {
+		m.flush()
+	}
+}
+
+// Dropped reports the number of messages discarded by Close, drop mode, or
+// backlog flushes.
+func (m *Mailbox[T]) Dropped() int64 { return m.dropped }
+
+// flush discards the queued backlog, counting it as dropped.
+func (m *Mailbox[T]) flush() {
+	var zero T
+	m.dropped += int64(m.count)
+	for i := 0; i < m.count; i++ {
+		m.buf[(m.head+i)&(len(m.buf)-1)] = zero
+	}
+	m.head, m.count = 0, 0
+}
 
 // Trigger is a one-shot completion event: processes Wait on it, and Fire
 // releases all current and future waiters. It coordinates, e.g., a query

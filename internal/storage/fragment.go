@@ -159,11 +159,13 @@ func (f *Fragment) DataPageOfSlot(slot int) int {
 
 // SearchClustered evaluates lo <= ClusteredAttr <= hi through the clustered
 // index: the root-to-leaf path plus the contiguous data pages holding the
-// qualifying tuples.
-func (f *Fragment) SearchClustered(lo, hi int64) Access {
+// qualifying tuples. An error means the fragment has no clustered index —
+// a routing bug (or a query sent to a replica built without one), which the
+// executor reports as a query failure rather than a crash.
+func (f *Fragment) SearchClustered(lo, hi int64) (Access, error) {
 	idx := f.indexes[f.ClusteredAttr]
 	if idx == nil {
-		panic(fmt.Sprintf("storage: node %d: no clustered index", f.Node))
+		return Access{}, fmt.Errorf("storage: node %d: no clustered index", f.Node)
 	}
 	slots, path := idx.Tree.Range(lo, hi)
 	acc := Access{IndexPages: path.Pages()}
@@ -177,28 +179,29 @@ func (f *Fragment) SearchClustered(lo, hi int64) Access {
 		}
 		acc.Tuples = append(acc.Tuples, f.Tuples[slot])
 	}
-	return acc
+	return acc, nil
 }
 
 // SearchNonClustered evaluates lo <= attr <= hi through a non-clustered
 // index: the index path plus one data-page access per qualifying tuple, in
-// index order (the pages are effectively random).
-func (f *Fragment) SearchNonClustered(attr int, lo, hi int64) Access {
+// index order (the pages are effectively random). Errors mean a missing
+// index or an index entry pointing outside the fragment.
+func (f *Fragment) SearchNonClustered(attr int, lo, hi int64) (Access, error) {
 	idx := f.indexes[attr]
 	if idx == nil || idx.Clustered {
-		panic(fmt.Sprintf("storage: node %d: no non-clustered index on %s", f.Node, AttrName(attr)))
+		return Access{}, fmt.Errorf("storage: node %d: no non-clustered index on %s", f.Node, AttrName(attr))
 	}
 	tids, path := idx.Tree.Range(lo, hi)
 	acc := Access{IndexPages: path.Pages()}
 	for _, tid := range tids {
 		slot, ok := f.slotOfTID[tid]
 		if !ok {
-			panic(fmt.Sprintf("storage: node %d: index returned foreign TID %d", f.Node, tid))
+			return Access{}, fmt.Errorf("storage: node %d: index returned foreign TID %d", f.Node, tid)
 		}
 		acc.DataPages = append(acc.DataPages, f.DataPageOfSlot(slot))
 		acc.Tuples = append(acc.Tuples, f.Tuples[slot])
 	}
-	return acc
+	return acc, nil
 }
 
 // Scan evaluates lo <= attr <= hi with a full sequential scan: every data
@@ -218,19 +221,19 @@ func (f *Fragment) Scan(attr int, lo, hi int64) Access {
 }
 
 // FetchTIDs fetches tuples by TID (BERD's second step): one data-page access
-// per tuple, no index. TIDs not on this node panic — the routing layer must
-// only send a node its own TIDs.
-func (f *Fragment) FetchTIDs(tids []int64) Access {
+// per tuple, no index. A TID not on this node is an error — the routing
+// layer must only send a node its own (or its replica's) TIDs.
+func (f *Fragment) FetchTIDs(tids []int64) (Access, error) {
 	var acc Access
 	for _, tid := range tids {
 		slot, ok := f.slotOfTID[tid]
 		if !ok {
-			panic(fmt.Sprintf("storage: node %d: TID %d not in fragment", f.Node, tid))
+			return Access{}, fmt.Errorf("storage: node %d: TID %d not in fragment", f.Node, tid)
 		}
 		acc.DataPages = append(acc.DataPages, f.DataPageOfSlot(slot))
 		acc.Tuples = append(acc.Tuples, f.Tuples[slot])
 	}
-	return acc
+	return acc, nil
 }
 
 // HasTID reports whether the fragment holds the tuple.

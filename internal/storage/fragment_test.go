@@ -6,6 +6,14 @@ import (
 
 func smallLayout() Layout { return Layout{TuplesPerPage: 4, IndexFanout: 4, IndexLeafCap: 4} }
 
+// mustAcc unwraps an (Access, error) pair in tests that expect success.
+func mustAcc(acc Access, err error) Access {
+	if err != nil {
+		panic(err)
+	}
+	return acc
+}
+
 // buildTestFragment creates a fragment over tuples with unique2 = 0..n-1 and
 // unique1 a fixed scrambled permutation, clustered on unique2, indexed on
 // both attributes.
@@ -37,7 +45,7 @@ func TestFragmentLayoutContiguous(t *testing.T) {
 
 func TestSearchClusteredRange(t *testing.T) {
 	f, _ := buildTestFragment(t, 100)
-	acc := f.SearchClustered(10, 19)
+	acc := mustAcc(f.SearchClustered(10, 19))
 	if len(acc.Tuples) != 10 {
 		t.Fatalf("matched %d tuples", len(acc.Tuples))
 	}
@@ -63,7 +71,7 @@ func TestSearchClusteredRange(t *testing.T) {
 
 func TestSearchClusteredEmptyRange(t *testing.T) {
 	f, _ := buildTestFragment(t, 100)
-	acc := f.SearchClustered(5000, 6000)
+	acc := mustAcc(f.SearchClustered(5000, 6000))
 	if len(acc.Tuples) != 0 || len(acc.DataPages) != 0 {
 		t.Fatal("out-of-range search returned tuples")
 	}
@@ -74,7 +82,7 @@ func TestSearchClusteredEmptyRange(t *testing.T) {
 
 func TestSearchNonClusteredFetchesPerTuple(t *testing.T) {
 	f, _ := buildTestFragment(t, 100)
-	acc := f.SearchNonClustered(Unique1, 0, 9)
+	acc := mustAcc(f.SearchNonClustered(Unique1, 0, 9))
 	if len(acc.Tuples) != 10 {
 		t.Fatalf("matched %d tuples", len(acc.Tuples))
 	}
@@ -90,7 +98,7 @@ func TestSearchNonClusteredFetchesPerTuple(t *testing.T) {
 
 func TestSearchNonClusteredSingleTuple(t *testing.T) {
 	f, _ := buildTestFragment(t, 100)
-	acc := f.SearchNonClustered(Unique1, 42, 42)
+	acc := mustAcc(f.SearchNonClustered(Unique1, 42, 42))
 	if len(acc.Tuples) != 1 || acc.Tuples[0].Attrs[Unique1] != 42 {
 		t.Fatalf("equality search returned %v", acc.Tuples)
 	}
@@ -98,7 +106,7 @@ func TestSearchNonClusteredSingleTuple(t *testing.T) {
 
 func TestFetchTIDs(t *testing.T) {
 	f, _ := buildTestFragment(t, 100)
-	acc := f.FetchTIDs([]int64{5, 50, 95})
+	acc := mustAcc(f.FetchTIDs([]int64{5, 50, 95}))
 	if len(acc.Tuples) != 3 || len(acc.DataPages) != 3 {
 		t.Fatalf("fetched %d tuples, %d pages", len(acc.Tuples), len(acc.DataPages))
 	}
@@ -112,14 +120,11 @@ func TestFetchTIDs(t *testing.T) {
 	}
 }
 
-func TestFetchForeignTIDPanics(t *testing.T) {
+func TestFetchForeignTIDErrors(t *testing.T) {
 	f, _ := buildTestFragment(t, 10)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("foreign TID did not panic")
-		}
-	}()
-	f.FetchTIDs([]int64{9999})
+	if _, err := f.FetchTIDs([]int64{9999}); err == nil {
+		t.Fatal("foreign TID did not error")
+	}
 }
 
 func TestHasTID(t *testing.T) {
@@ -136,7 +141,7 @@ func TestEmptyFragment(t *testing.T) {
 	if f.NumTuples() != 0 || f.NumDataPages() != 0 {
 		t.Fatal("empty fragment has tuples/pages")
 	}
-	acc := f.SearchClustered(0, 10)
+	acc := mustAcc(f.SearchClustered(0, 10))
 	if len(acc.Tuples) != 0 {
 		t.Fatal("empty fragment returned tuples")
 	}
@@ -152,15 +157,12 @@ func TestDuplicateIndexPanics(t *testing.T) {
 	f.AddIndex(Unique1, alloc)
 }
 
-func TestMissingIndexPanics(t *testing.T) {
+func TestMissingIndexErrors(t *testing.T) {
 	alloc := NewAllocator(100)
 	f := BuildFragment(0, nil, Unique2, smallLayout(), alloc)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("missing index did not panic")
-		}
-	}()
-	f.SearchClustered(0, 1)
+	if _, err := f.SearchClustered(0, 1); err == nil {
+		t.Fatal("missing index did not error")
+	}
 }
 
 func TestAllocatorRuns(t *testing.T) {
