@@ -14,7 +14,11 @@ import (
 	"os"
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/harness"
+	"repro/internal/rng"
+	"repro/internal/serve"
 	"repro/internal/sim"
 )
 
@@ -25,6 +29,10 @@ type BenchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// ArrivalsPerSec is published for the serving-layer benchmark
+	// (OpenArrivals): admitted arrivals processed per wall-clock second,
+	// i.e. 1e9 / NsPerOp. Zero for the kernel fast-path entries.
+	ArrivalsPerSec float64 `json:"arrivals_per_sec,omitempty"`
 }
 
 // BenchReport is the JSON document -bench-out writes.
@@ -52,6 +60,7 @@ func kernelBenchmarks() []struct {
 		{"ScheduleHandler", benchScheduleHandler},
 		{"ReadyRingWake", benchReadyRingWake},
 		{"SpanDisabled", benchSpanDisabled},
+		{"OpenArrivals", benchOpenArrivals},
 	}
 }
 
@@ -163,6 +172,47 @@ func benchSpanDisabled(b *testing.B) {
 	}
 }
 
+// benchServeBackend is a minimal serve.Executor: a fixed 1ms simulated
+// service with no machine behind it, so the benchmark isolates the serving
+// layer itself (arrival generation, admission, WRR dispatch, SLO
+// accounting) from operator execution.
+type benchServeBackend struct{}
+
+func (benchServeBackend) Execute(p *sim.Proc, pred core.Predicate, access exec.AccessChooser) exec.QueryResult {
+	start := p.Now()
+	p.Hold(sim.Millisecond)
+	return exec.QueryResult{Pred: pred, Submitted: start, Completed: p.Now()}
+}
+
+// benchOpenArrivals measures the serving layer end to end: one op is one
+// admitted arrival carried through to completion. Mirrors the serve
+// package's BenchmarkOpenArrivals by name and shape.
+func benchOpenArrivals(b *testing.B) {
+	cfg := serve.Config{
+		Arrival:        serve.ArrivalSpec{Kind: serve.Poisson, RateQPS: 2000},
+		Tenants:        serve.DefaultTenants(4),
+		MaxInService:   8,
+		MaxQueue:       64,
+		SLOms:          100,
+		MeasureQueries: b.N,
+		MaxSimTime:     sim.Duration(b.N+1000) * sim.Millisecond,
+		Sample: func(src *rng.Source) (core.Predicate, string) {
+			lo := int64(src.Intn(1000))
+			return core.Predicate{Attr: 1, Lo: lo, Hi: lo}, "bench"
+		},
+		Access: func(core.Predicate) exec.AccessKind { return exec.AccessClustered },
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	res, err := serve.Run(sim.New(), rng.NewFactory(1), cfg, benchServeBackend{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.SLO.Completed < int64(b.N) {
+		b.Fatalf("completed %d of %d", res.SLO.Completed, b.N)
+	}
+}
+
 // runBenchSuite executes the kernel suite serially (Workers: 1 — benchmarks
 // must not contend with each other) and writes the JSON report to path.
 func runBenchSuite(path string) error {
@@ -184,6 +234,9 @@ func runBenchSuite(path string) error {
 					NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 					AllocsPerOp: r.AllocsPerOp(),
 					BytesPerOp:  r.AllocedBytesPerOp(),
+				}
+				if bm.name == "OpenArrivals" && results[i].NsPerOp > 0 {
+					results[i].ArrivalsPerSec = 1e9 / results[i].NsPerOp
 				}
 				return nil, nil
 			},
@@ -223,6 +276,9 @@ func runBenchSuite(path string) error {
 	for _, r := range results {
 		fmt.Printf("%-24s %12d iters %12.1f ns/op %6d B/op %5d allocs/op\n",
 			r.Name, r.Iterations, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		if r.ArrivalsPerSec > 0 {
+			fmt.Printf("%-24s %.0f arrivals/sec\n", "", r.ArrivalsPerSec)
+		}
 	}
 	return nil
 }

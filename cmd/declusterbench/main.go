@@ -30,6 +30,21 @@
 //	                 write a JSON report (combine with -fig none to run
 //	                 benchmarks alone)
 //
+// Open-system serving mode (ROADMAP item 1; see DESIGN.md §9): instead of
+// the closed MPL sweep, admit queries from an open arrival process through
+// the admission controller and report sustainable throughput, tail latency
+// and shed rate per strategy and offered load, ending with a "serving
+// summary" block per figure:
+//
+//	-open            run the open-system serving campaign (default figure
+//	                 scope: 8a when -fig is not given)
+//	-arrival K       arrival process: poisson (default), bursty, or diurnal
+//	-lambda L        comma-separated offered loads in queries/second
+//	                 (default 100,200,400,800)
+//	-tenants N       tenant count for weighted round-robin dispatch (default 4)
+//	-slo-ms MS       latency SLO for goodput accounting (default 1000)
+//	-governor N      MPL governor: concurrent-execution cap (default 64)
+//
 // Fault injection (all fault flags imply chained replicas and the degraded
 // scheduler; see DESIGN.md §8):
 //
@@ -74,6 +89,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/gamma"
 	"repro/internal/harness"
+	"repro/internal/serve"
 	"repro/internal/sim"
 )
 
@@ -101,6 +117,12 @@ func run() int {
 		scaleout    = flag.Bool("scaleout", false, "run the machine-size sweep too")
 		nodeStats   = flag.Bool("node-stats", false, "print per-node utilization tables (highest MPL)")
 		benchOut    = flag.String("bench-out", "", "run the kernel microbenchmark suite and write a JSON report")
+		open        = flag.Bool("open", false, "run the open-system serving campaign instead of the closed MPL sweep")
+		arrival     = flag.String("arrival", "poisson", "open arrival process: poisson, bursty, or diurnal")
+		lambdaList  = flag.String("lambda", "", "comma-separated offered loads in q/s (default 100,200,400,800)")
+		tenants     = flag.Int("tenants", 0, "open-system tenant count (default 4)")
+		sloMS       = flag.Float64("slo-ms", 0, "open-system latency SLO in milliseconds (default 1000)")
+		governor    = flag.Int("governor", 0, "open-system MPL governor: concurrent-execution cap (default 64)")
 		faultsKs    = flag.String("faults", "", `degraded-mode campaign: comma-separated failed-disk counts, e.g. "0,1,2"`)
 		mtbf        = flag.Duration("mtbf", 0, "mean time between stochastic transient disk read errors (0 = off)")
 		killDisk    = flag.String("kill-disk", "", `fail-stop disks: comma-separated "n@t[+d]" items, e.g. "3@10ms" or "0@5ms+200ms"`)
@@ -162,6 +184,19 @@ func run() int {
 	if err != nil {
 		return fail(err)
 	}
+	// A full open sweep over all nine figures at paper scale would dwarf the
+	// closed-loop campaign, so -open without -fig defaults to figure 8a.
+	if *open && *figList == "" {
+		fig, err := experiments.FigureByID("8a")
+		if err != nil {
+			return fail(err)
+		}
+		figs = []experiments.Figure{fig}
+	}
+	oopts, err := buildOpenOptions(*arrival, *lambdaList, *tenants, *sloMS, *governor)
+	if err != nil {
+		return fail(err)
+	}
 	spec, err := buildFaultSpec(*mtbf, *killDisk, *killNode)
 	if err != nil {
 		return fail(err)
@@ -182,7 +217,48 @@ func run() int {
 	archive := experiments.Archive{Label: "declusterbench", Options: opts}
 	var manifests []harness.Manifest
 
-	if *faultsKs != "" {
+	if *open {
+		if len(figs) == 0 {
+			return fail(fmt.Errorf(`-open needs at least one figure (drop "-fig none")`))
+		}
+		fmt.Fprintf(os.Stderr, "running open-system campaign (%s arrivals, λ=%v) on %d workers...\n",
+			oopts.Arrival, oopts.Lambdas, workersFor(*parallel))
+		campaign, err := experiments.RunOpenSystem(figs, opts, oopts, experiments.CampaignOptions{
+			Workers:    *parallel,
+			JobTimeout: *timeout,
+			Progress:   os.Stderr,
+			Label:      "open",
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "declusterbench:", err)
+			exit = 1
+		}
+		manifests = append(manifests, campaign.Manifest)
+		for _, res := range campaign.Figures {
+			if *csv {
+				fmt.Print(res.Table().CSV())
+			} else {
+				fmt.Println(res.Table().String())
+			}
+			for _, n := range res.Notes {
+				fmt.Printf("  %s\n", n)
+			}
+			if *detail {
+				if *csv {
+					fmt.Print(res.DetailTable().CSV())
+				} else {
+					fmt.Println(res.DetailTable().String())
+				}
+			}
+			fmt.Println()
+			if *csv {
+				fmt.Print(res.SummaryTable().CSV())
+			} else {
+				fmt.Println(res.SummaryTable().String())
+			}
+			fmt.Println()
+		}
+	} else if *faultsKs != "" {
 		if len(figs) == 0 {
 			return fail(fmt.Errorf(`-faults needs at least one figure (drop "-fig none")`))
 		}
@@ -410,6 +486,41 @@ func buildOptions(scale string, card, procs int, mplList string, measure, warmup
 		opts.MPLs = mpls
 	}
 	return opts, nil
+}
+
+// buildOpenOptions assembles the open-system campaign options from the
+// -arrival, -lambda, -tenants, -slo-ms and -governor flags. Zero values
+// defer to the experiments-package defaults.
+func buildOpenOptions(arrival, lambdaList string, tenants int, sloMS float64, governor int) (experiments.OpenOptions, error) {
+	kind, err := serve.ParseArrivalKind(arrival)
+	if err != nil {
+		return experiments.OpenOptions{}, err
+	}
+	oopts := experiments.OpenOptions{
+		Arrival:      kind,
+		Tenants:      tenants,
+		SLOms:        sloMS,
+		MaxInService: governor,
+	}
+	if tenants < 0 {
+		return oopts, fmt.Errorf("negative -tenants %d", tenants)
+	}
+	if sloMS < 0 {
+		return oopts, fmt.Errorf("negative -slo-ms %g", sloMS)
+	}
+	if governor < 0 {
+		return oopts, fmt.Errorf("negative -governor %d", governor)
+	}
+	if lambdaList != "" {
+		for _, s := range strings.Split(lambdaList, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil || v <= 0 {
+				return oopts, fmt.Errorf("bad -lambda %q (want positive numbers)", s)
+			}
+			oopts.Lambdas = append(oopts.Lambdas, v)
+		}
+	}
+	return oopts, nil
 }
 
 func selectFigures(list string) ([]experiments.Figure, error) {

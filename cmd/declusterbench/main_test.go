@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/serve"
+)
 
 func TestBuildOptions(t *testing.T) {
 	opts, err := buildOptions("quick", 0, 0, "", 0, 0, 0, false)
@@ -77,5 +81,54 @@ func TestWorkersFor(t *testing.T) {
 	}
 	if got := workersFor(0); got < 1 {
 		t.Fatalf("workersFor(0) = %d", got)
+	}
+}
+
+func TestBuildOpenOptions(t *testing.T) {
+	oopts, err := buildOpenOptions("poisson", "", 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oopts.Arrival != serve.Poisson || oopts.Lambdas != nil {
+		t.Fatalf("defaults not preserved: %+v", oopts)
+	}
+	oopts, err = buildOpenOptions("bursty", "100, 250.5,800", 3, 500, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oopts.Arrival != serve.Bursty || oopts.Tenants != 3 ||
+		oopts.SLOms != 500 || oopts.MaxInService != 32 {
+		t.Fatalf("overrides not applied: %+v", oopts)
+	}
+	want := []float64{100, 250.5, 800}
+	if len(oopts.Lambdas) != 3 || oopts.Lambdas[0] != want[0] ||
+		oopts.Lambdas[1] != want[1] || oopts.Lambdas[2] != want[2] {
+		t.Fatalf("lambdas = %v, want %v", oopts.Lambdas, want)
+	}
+	if _, err := buildOpenOptions("diurnal", "", 0, 0, 0); err != nil {
+		t.Fatalf("diurnal rejected: %v", err)
+	}
+}
+
+func TestBuildOpenOptionsErrors(t *testing.T) {
+	cases := []struct {
+		name             string
+		arrival, lambdas string
+		tenants          int
+		sloMS            float64
+		governor         int
+	}{
+		{"unknown arrival", "lognormal", "", 0, 0, 0},
+		{"bad lambda", "poisson", "100,fast", 0, 0, 0},
+		{"zero lambda", "poisson", "0", 0, 0, 0},
+		{"negative lambda", "poisson", "-5", 0, 0, 0},
+		{"negative tenants", "poisson", "", -1, 0, 0},
+		{"negative slo", "poisson", "", 0, -1, 0},
+		{"negative governor", "poisson", "", 0, 0, -1},
+	}
+	for _, c := range cases {
+		if _, err := buildOpenOptions(c.arrival, c.lambdas, c.tenants, c.sloMS, c.governor); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
 	}
 }

@@ -74,6 +74,13 @@ type JobReport struct {
 	// (filled by the caller from the run result; the harness itself knows
 	// nothing about fault injection).
 	FaultEvents int `json:"fault_events,omitempty"`
+	// Arrival and OfferedQPS record the open-system workload of the job —
+	// the arrival-process kind ("poisson", "bursty", "diurnal") and the
+	// offered load in queries/second. Filled by the caller for open-system
+	// campaigns; zero for closed-loop jobs, where the workload is the MPL
+	// encoded in the job ID.
+	Arrival    string  `json:"arrival,omitempty"`
+	OfferedQPS float64 `json:"offered_qps,omitempty"`
 }
 
 // Failed reports whether the job ended in any failure (error, panic, or

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"reflect"
 	"runtime"
 	"strings"
 	"sync/atomic"
@@ -297,5 +298,40 @@ func TestNoRetryWithoutClassifier(t *testing.T) {
 	_, m, _ := Execute(jobs, Options{Workers: 1})
 	if calls.Load() != 1 || m.Reports[0].Attempts != 1 {
 		t.Fatalf("calls = %d, attempts = %d", calls.Load(), m.Reports[0].Attempts)
+	}
+}
+
+func TestManifestOpenSystemFieldsRoundTrip(t *testing.T) {
+	m := Manifest{
+		Label:   "open",
+		Workers: 2,
+		Jobs:    2,
+		Reports: []JobReport{
+			{ID: "fig8a/magic/poisson400", Seed: 7, WallMS: 12.5, Attempts: 1,
+				Arrival: "poisson", OfferedQPS: 400},
+			{ID: "fig8a/magic/mpl4", Seed: 7, WallMS: 3.25, Attempts: 1},
+		},
+	}
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The closed-loop job must omit the open-system keys entirely.
+	text := buf.String()
+	if n := strings.Count(text, "\"arrival\""); n != 1 {
+		t.Fatalf("want exactly 1 arrival key (omitempty on closed-loop jobs), got %d in:\n%s", n, text)
+	}
+	if n := strings.Count(text, "\"offered_qps\""); n != 1 {
+		t.Fatalf("want exactly 1 offered_qps key, got %d in:\n%s", n, text)
+	}
+	var back Manifest
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Reports, back.Reports) {
+		t.Fatalf("reports did not round-trip:\n got %+v\nwant %+v", back.Reports, m.Reports)
+	}
+	if back.Reports[0].Arrival != "poisson" || back.Reports[0].OfferedQPS != 400 {
+		t.Fatalf("open-system fields lost: %+v", back.Reports[0])
 	}
 }

@@ -116,7 +116,19 @@ func (h *Histogram) Quantile(p float64) float64 {
 	// series (nearest-rank; interpolation is below bucket resolution).
 	target := int64(rank)
 	if target < h.zeros {
-		return 0
+		// The target sample is one of the non-positive ones, which the
+		// zeros bucket counts but does not locate. Report 0 clamped into
+		// the observed range: an all-negative series must not produce an
+		// estimate above its max (nor can any series produce one below
+		// its min).
+		v := 0.0
+		if v > h.max {
+			v = h.max
+		}
+		if v < h.min {
+			v = h.min
+		}
+		return v
 	}
 	cum := h.zeros
 	for _, i := range h.sortedBuckets() {

@@ -190,3 +190,38 @@ func TestHistogramStats(t *testing.T) {
 		t.Errorf("mean = %g", s.Mean)
 	}
 }
+
+func TestHistogramQuantileNegativeSamples(t *testing.T) {
+	// All samples non-positive: every quantile must stay within
+	// [min, max] — in particular not report 0 when max < 0.
+	h := NewHistogram()
+	for _, v := range []float64{-5, -3, -1} {
+		h.Observe(v)
+	}
+	for _, p := range []float64{0, 25, 50, 75, 99, 100} {
+		q := h.Quantile(p)
+		if q < h.Min() || q > h.Max() {
+			t.Errorf("all-negative Quantile(%g) = %g outside [%g, %g]",
+				p, q, h.Min(), h.Max())
+		}
+	}
+
+	// Mixed signs: low quantiles land in the zeros bucket (reported as 0,
+	// inside the range), high quantiles in the positive buckets; the
+	// estimate must be monotone in p and bounded throughout.
+	m := NewHistogram()
+	for i := -50; i <= 50; i++ {
+		m.Observe(float64(i))
+	}
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 100; p += 0.5 {
+		q := m.Quantile(p)
+		if q < m.Min() || q > m.Max() {
+			t.Fatalf("mixed Quantile(%g) = %g outside [%g, %g]", p, q, m.Min(), m.Max())
+		}
+		if q < prev {
+			t.Fatalf("Quantile not monotone: Quantile(%g) = %g < %g", p, q, prev)
+		}
+		prev = q
+	}
+}

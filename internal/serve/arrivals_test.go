@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func TestArrivalKindStringAndParse(t *testing.T) {
+	for _, k := range []ArrivalKind{Poisson, Bursty, Diurnal} {
+		got, err := ParseArrivalKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseArrivalKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Fatalf("round-trip %v -> %q -> %v", k, k.String(), got)
+		}
+	}
+	if _, err := ParseArrivalKind("nope"); err == nil {
+		t.Fatalf("ParseArrivalKind(nope) should fail")
+	}
+	if s := ArrivalKind(99).String(); s != "arrival(99)" {
+		t.Fatalf("out-of-range String: %q", s)
+	}
+}
+
+func TestArrivalSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec ArrivalSpec
+		ok   bool
+	}{
+		{"poisson ok", ArrivalSpec{Kind: Poisson, RateQPS: 10}, true},
+		{"zero rate", ArrivalSpec{Kind: Poisson, RateQPS: 0}, false},
+		{"negative rate", ArrivalSpec{Kind: Poisson, RateQPS: -1}, false},
+		{"bad kind", ArrivalSpec{Kind: ArrivalKind(7), RateQPS: 1}, false},
+		{"bursty ok", ArrivalSpec{Kind: Bursty, RateQPS: 10}, true},
+		{"bursty overdriven", ArrivalSpec{Kind: Bursty, RateQPS: 10, BurstFactor: 8, OnFraction: 0.5}, false},
+		{"bursty on-fraction 1", ArrivalSpec{Kind: Bursty, RateQPS: 10, BurstFactor: 0.5, OnFraction: 1}, false},
+		{"diurnal ok", ArrivalSpec{Kind: Diurnal, RateQPS: 10}, true},
+		{"diurnal negative slot", ArrivalSpec{Kind: Diurnal, RateQPS: 10, Trace: []float64{1, -1}}, false},
+		{"diurnal zero trace", ArrivalSpec{Kind: Diurnal, RateQPS: 10, Trace: []float64{0, 0}}, false},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+// meanRate draws n gaps and returns the empirical arrival rate in QPS.
+func meanRate(t *testing.T, spec ArrivalSpec, n int) float64 {
+	t.Helper()
+	a, err := NewArrivals(spec, rng.NewSource("arr", 42))
+	if err != nil {
+		t.Fatalf("NewArrivals: %v", err)
+	}
+	var elapsed float64
+	for i := 0; i < n; i++ {
+		g := a.Next()
+		if g < 1 {
+			t.Fatalf("gap %d below 1ns: %d", i, g)
+		}
+		elapsed += float64(g)
+	}
+	return float64(n) / (elapsed / 1e9)
+}
+
+// Each arrival process must honor its long-run mean rate: that is the
+// contract that makes "offered load" comparable across kinds.
+func TestArrivalMeanRates(t *testing.T) {
+	for _, spec := range []ArrivalSpec{
+		{Kind: Poisson, RateQPS: 500},
+		// Short cycles give enough independent on/off blocks for the 5%
+		// tolerance; the long-cycle default would need far more samples.
+		{Kind: Bursty, RateQPS: 500, CycleMean: 100 * sim.Millisecond},
+		{Kind: Bursty, RateQPS: 500, BurstFactor: 2, OnFraction: 0.5, CycleMean: 50 * sim.Millisecond},
+		{Kind: Diurnal, RateQPS: 500},
+		{Kind: Diurnal, RateQPS: 500, Period: 10 * sim.Second, Trace: []float64{1, 3, 1, 0.5}},
+	} {
+		got := meanRate(t, spec, 200000)
+		if math.Abs(got-spec.RateQPS)/spec.RateQPS > 0.05 {
+			t.Errorf("%v: empirical rate %.1f qps, want %.1f +/- 5%%", spec.Kind, got, spec.RateQPS)
+		}
+	}
+}
+
+// The bursty process must actually burst: its inter-arrival squared
+// coefficient of variation exceeds the Poisson value of 1.
+func TestBurstyIsBurstier(t *testing.T) {
+	squaredCV := func(spec ArrivalSpec) float64 {
+		a, err := NewArrivals(spec, rng.NewSource("arr", 7))
+		if err != nil {
+			t.Fatalf("NewArrivals: %v", err)
+		}
+		var n, sum, sum2 float64
+		for i := 0; i < 100000; i++ {
+			g := float64(a.Next())
+			n++
+			sum += g
+			sum2 += g * g
+		}
+		mean := sum / n
+		return (sum2/n - mean*mean) / (mean * mean)
+	}
+	poisson := squaredCV(ArrivalSpec{Kind: Poisson, RateQPS: 500})
+	bursty := squaredCV(ArrivalSpec{Kind: Bursty, RateQPS: 500})
+	if bursty < poisson*1.5 {
+		t.Fatalf("bursty scv %.2f not clearly above poisson scv %.2f", bursty, poisson)
+	}
+}
+
+// The diurnal process must track its trace: the peak slot sees more
+// arrivals than the trough slot.
+func TestDiurnalFollowsTrace(t *testing.T) {
+	spec := ArrivalSpec{
+		Kind: Diurnal, RateQPS: 500,
+		Period: 4 * sim.Second,
+		Trace:  []float64{0.2, 1.8, 1.8, 0.2},
+	}
+	a, err := NewArrivals(spec, rng.NewSource("arr", 11))
+	if err != nil {
+		t.Fatalf("NewArrivals: %v", err)
+	}
+	counts := make([]int, len(spec.Trace))
+	slotLen := float64(spec.Period) / float64(len(spec.Trace))
+	var clock float64
+	for i := 0; i < 100000; i++ {
+		clock += float64(a.Next())
+		pos := math.Mod(clock, float64(spec.Period))
+		slot := int(pos / slotLen)
+		if slot >= len(counts) {
+			slot = len(counts) - 1
+		}
+		counts[slot]++
+	}
+	if counts[1] < 5*counts[0] || counts[2] < 5*counts[3] {
+		t.Fatalf("diurnal counts do not follow 0.2/1.8 trace: %v", counts)
+	}
+}
+
+// Arrivals must be a pure function of (spec, seed): same inputs, same gaps.
+func TestArrivalsDeterministic(t *testing.T) {
+	for _, kind := range []ArrivalKind{Poisson, Bursty, Diurnal} {
+		spec := ArrivalSpec{Kind: kind, RateQPS: 300}
+		a1, _ := NewArrivals(spec, rng.NewSource("arr", 9))
+		a2, _ := NewArrivals(spec, rng.NewSource("arr", 9))
+		for i := 0; i < 10000; i++ {
+			g1, g2 := a1.Next(), a2.Next()
+			if g1 != g2 {
+				t.Fatalf("%v: gap %d diverged: %d vs %d", kind, i, g1, g2)
+			}
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// BenchmarkOpenArrivals measures the serving layer's end-to-end admission
+// throughput — arrival generation, admission, WRR dispatch, a minimal
+// 1ms-service execution, and SLO accounting — in admitted arrivals per
+// second of wall time. The bench harness publishes this next to the kernel
+// numbers in BENCH_sim.json.
+func BenchmarkOpenArrivals(b *testing.B) {
+	cfg := Config{
+		Arrival:        ArrivalSpec{Kind: Poisson, RateQPS: 2000},
+		Tenants:        DefaultTenants(4),
+		MaxInService:   8,
+		MaxQueue:       64,
+		SLOms:          100,
+		WarmupQueries:  0,
+		MeasureQueries: b.N,
+		Sample: func(src *rng.Source) (core.Predicate, string) {
+			lo := int64(src.Intn(1000))
+			return core.Predicate{Attr: 1, Lo: lo, Hi: lo}, "bench"
+		},
+		Access: func(core.Predicate) exec.AccessKind { return exec.AccessClustered },
+	}
+	backend := &fakeBackend{service: sim.Millisecond}
+	b.ReportAllocs()
+	b.ResetTimer()
+	res, err := Run(sim.New(), rng.NewFactory(1), cfg, backend)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.SLO.Completed < int64(b.N) {
+		b.Fatalf("completed %d of %d", res.SLO.Completed, b.N)
+	}
+}

@@ -349,3 +349,71 @@ func TestTimeWeightedMeanEdgeCases(t *testing.T) {
 		}
 	}
 }
+
+func TestPercentileTwoSamples(t *testing.T) {
+	var b BatchMeans
+	b.Add(10)
+	b.Add(20)
+	cases := []struct {
+		p, want float64
+	}{{0, 10}, {25, 12.5}, {50, 15}, {75, 17.5}, {100, 20}}
+	for _, c := range cases {
+		if got := b.Percentile(c.p); !almost(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+// TestPercentileProperties checks, over arbitrary sample sets, the order
+// statistics invariants a percentile estimator must satisfy: bounded by
+// the sample min and max, and monotone non-decreasing in the quantile.
+func TestPercentileProperties(t *testing.T) {
+	prop := func(samples []float64, qs []float64) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		var b BatchMeans
+		lo, hi := samples[0], samples[0]
+		for _, x := range samples {
+			// quick generates NaN-free float64s but keep the property
+			// meaningful on huge magnitudes by skipping infinities.
+			if math.IsInf(x, 0) || math.IsNaN(x) {
+				return true
+			}
+			b.Add(x)
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		// Bounded by min/max at arbitrary (even out-of-range) quantiles.
+		for _, q := range qs {
+			v := b.Percentile(q)
+			if v < lo || v > hi {
+				return false
+			}
+		}
+		// Monotone in q over a fixed grid.
+		prev := math.Inf(-1)
+		for q := -10.0; q <= 110; q += 2.5 {
+			v := b.Percentile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	// The invariants must also hold at the degenerate sizes the generator
+	// rarely produces: one and two samples.
+	for _, set := range [][]float64{{-3.5}, {7, -7}} {
+		if !prop(set, []float64{-1, 0, 13, 50, 99.999, 100, 200}) {
+			t.Errorf("percentile invariants violated for %v", set)
+		}
+	}
+}
