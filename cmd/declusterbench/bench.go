@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/serve"
 	"repro/internal/sim"
@@ -60,7 +61,9 @@ func kernelBenchmarks() []struct {
 		{"ScheduleHandler", benchScheduleHandler},
 		{"ReadyRingWake", benchReadyRingWake},
 		{"SpanDisabled", benchSpanDisabled},
+		{"SamplerSample", benchSamplerSample},
 		{"OpenArrivals", benchOpenArrivals},
+		{"OpenArrivalsSampled", benchOpenArrivalsSampled},
 	}
 }
 
@@ -172,6 +175,26 @@ func benchSpanDisabled(b *testing.B) {
 	}
 }
 
+// benchSamplerSample measures one telemetry sampling tick over a machine-
+// scale probe set (32 nodes x 2 rate probes plus gauges — the shape an open
+// run with telemetry pays every window). The hot path must stay
+// allocation-free: rings are preallocated and probes are plain closures.
+func benchSamplerSample(b *testing.B) {
+	s := obs.NewSampler(int64(250*sim.Millisecond), obs.DefaultCapacity)
+	var c float64
+	for i := 0; i < 64; i++ {
+		s.Register(fmt.Sprintf("rate%d", i), obs.SeriesRate, func() float64 { c++; return c })
+	}
+	for i := 0; i < 64; i++ {
+		s.Register(fmt.Sprintf("gauge%d", i), obs.SeriesGauge, func() float64 { return c })
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample(int64(i+1) * int64(250*sim.Millisecond))
+	}
+}
+
 // benchServeBackend is a minimal serve.Executor: a fixed 1ms simulated
 // service with no machine behind it, so the benchmark isolates the serving
 // layer itself (arrival generation, admission, WRR dispatch, SLO
@@ -196,6 +219,37 @@ func benchOpenArrivals(b *testing.B) {
 		SLOms:          100,
 		MeasureQueries: b.N,
 		MaxSimTime:     sim.Duration(b.N+1000) * sim.Millisecond,
+		Sample: func(src *rng.Source) (core.Predicate, string) {
+			lo := int64(src.Intn(1000))
+			return core.Predicate{Attr: 1, Lo: lo, Hi: lo}, "bench"
+		},
+		Access: func(core.Predicate) exec.AccessKind { return exec.AccessClustered },
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	res, err := serve.Run(sim.New(), rng.NewFactory(1), cfg, benchServeBackend{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.SLO.Completed < int64(b.N) {
+		b.Fatalf("completed %d of %d", res.SLO.Completed, b.N)
+	}
+}
+
+// benchOpenArrivalsSampled is benchOpenArrivals with telemetry armed: the
+// serving layer registers its probes on a sampler and drives a sampling
+// window every simulated 250ms, plus the SLO burn evaluator. The acceptance
+// bar is <5% regression versus the unsampled run.
+func benchOpenArrivalsSampled(b *testing.B) {
+	cfg := serve.Config{
+		Arrival:        serve.ArrivalSpec{Kind: serve.Poisson, RateQPS: 2000},
+		Tenants:        serve.DefaultTenants(4),
+		MaxInService:   8,
+		MaxQueue:       64,
+		SLOms:          100,
+		MeasureQueries: b.N,
+		MaxSimTime:     sim.Duration(b.N+1000) * sim.Millisecond,
+		Telemetry:      obs.NewSampler(int64(250*sim.Millisecond), obs.DefaultCapacity),
 		Sample: func(src *rng.Source) (core.Predicate, string) {
 			lo := int64(src.Intn(1000))
 			return core.Predicate{Attr: 1, Lo: lo, Hi: lo}, "bench"

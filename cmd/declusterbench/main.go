@@ -45,6 +45,19 @@
 //	-slo-ms MS       latency SLO for goodput accounting (default 1000)
 //	-governor N      MPL governor: concurrent-execution cap (default 64)
 //
+// Time-resolved telemetry (DESIGN.md §10): windowed time-series sampling on
+// every machine the campaign builds, goodput/skew-over-time tables and SLO
+// burn lines per figure, CSV export, and a live OpenMetrics endpoint:
+//
+//	-ts-window D     arm telemetry with sampling window D (e.g. 250ms)
+//	-ts-dir DIR      write one CSV time-series file per open-system point
+//	                 into DIR (implies -ts-window 250ms when not given)
+//	-metrics-addr A  serve OpenMetrics on A at /metrics while running
+//	                 (implies telemetry); each point registers under its
+//	                 job ID as it completes
+//	-metrics-linger D keep the /metrics endpoint up D after the campaign
+//	                 (lets scrapers collect the final state; CI uses this)
+//
 // Fault injection (all fault flags imply chained replicas and the degraded
 // scheduler; see DESIGN.md §8):
 //
@@ -76,9 +89,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -89,6 +104,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/gamma"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/sim"
 )
@@ -123,6 +139,10 @@ func run() int {
 		tenants     = flag.Int("tenants", 0, "open-system tenant count (default 4)")
 		sloMS       = flag.Float64("slo-ms", 0, "open-system latency SLO in milliseconds (default 1000)")
 		governor    = flag.Int("governor", 0, "open-system MPL governor: concurrent-execution cap (default 64)")
+		tsWindow    = flag.Duration("ts-window", 0, "arm windowed telemetry with this sampling window (e.g. 250ms; 0 = off)")
+		tsDir       = flag.String("ts-dir", "", "write per-point CSV time-series files into this directory (implies telemetry)")
+		metricsAddr = flag.String("metrics-addr", "", "serve live OpenMetrics on this address at /metrics (implies telemetry)")
+		metricsLing = flag.Duration("metrics-linger", 0, "keep the /metrics endpoint up this long after the campaign")
 		faultsKs    = flag.String("faults", "", `degraded-mode campaign: comma-separated failed-disk counts, e.g. "0,1,2"`)
 		mtbf        = flag.Duration("mtbf", 0, "mean time between stochastic transient disk read errors (0 = off)")
 		killDisk    = flag.String("kill-disk", "", `fail-stop disks: comma-separated "n@t[+d]" items, e.g. "3@10ms" or "0@5ms+200ms"`)
@@ -205,6 +225,34 @@ func run() int {
 		opts.Faults = spec
 		opts.ChainedReplicas = true
 	}
+	if *tsWindow < 0 {
+		return fail(fmt.Errorf("negative -ts-window %v", *tsWindow))
+	}
+	if *tsWindow > 0 || *tsDir != "" || *metricsAddr != "" {
+		w := *tsWindow
+		if w <= 0 {
+			w = 250 * time.Millisecond
+		}
+		opts.TelemetryWindowMS = float64(w) / float64(time.Millisecond)
+	}
+	var hub *obs.Hub
+	if *metricsAddr != "" {
+		hub = obs.NewHub()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", hub)
+		// Listen synchronously so the endpoint is scrapeable the moment the
+		// banner prints (CI polls it right after startup).
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fail(err)
+		}
+		go func() {
+			if err := http.Serve(ln, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "declusterbench: metrics server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "serving OpenMetrics on http://%s/metrics\n", ln.Addr())
+	}
 
 	exit := 0
 	if *benchOut != "" {
@@ -228,12 +276,19 @@ func run() int {
 			JobTimeout: *timeout,
 			Progress:   os.Stderr,
 			Label:      "open",
+			Hub:        hub,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "declusterbench:", err)
 			exit = 1
 		}
 		manifests = append(manifests, campaign.Manifest)
+		if *tsDir != "" {
+			if err := writeTimeSeriesCSVs(*tsDir, campaign.Manifest); err != nil {
+				fmt.Fprintln(os.Stderr, "declusterbench:", err)
+				exit = 1
+			}
+		}
 		for _, res := range campaign.Figures {
 			if *csv {
 				fmt.Print(res.Table().CSV())
@@ -257,6 +312,7 @@ func run() int {
 				fmt.Println(res.SummaryTable().String())
 			}
 			fmt.Println()
+			printOpenTelemetry(res, *csv)
 		}
 	} else if *faultsKs != "" {
 		if len(figs) == 0 {
@@ -411,7 +467,86 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "wrote %s (%d jobs, %d workers, %.2fx speedup vs serial)\n",
 			*manifestOut, merged.Jobs, merged.Workers, merged.Speedup)
 	}
+	if hub != nil && *metricsLing > 0 {
+		fmt.Fprintf(os.Stderr, "metrics endpoint lingering %v (%d runs registered)...\n",
+			*metricsLing, len(hub.Runs()))
+		time.Sleep(*metricsLing)
+	}
 	return exit
+}
+
+// printOpenTelemetry emits the time-resolved blocks of one open figure when
+// its points carry telemetry: goodput-over-time and disk-skew-over-time at
+// the highest offered load (where the time axis is most interesting), plus
+// one SLO burn line per strategy at that load.
+func printOpenTelemetry(res experiments.OpenFigureResult, csv bool) {
+	if !res.HasTimeSeries() || len(res.Open.Lambdas) == 0 {
+		return
+	}
+	lambda := res.Open.Lambdas[0]
+	for _, l := range res.Open.Lambdas {
+		if l > lambda {
+			lambda = l
+		}
+	}
+	for _, tb := range []interface {
+		CSV() string
+		String() string
+	}{res.GoodputOverTime(lambda), res.SkewOverTime(lambda)} {
+		if csv {
+			fmt.Print(tb.CSV())
+		} else {
+			fmt.Println(tb.String())
+		}
+	}
+	for _, p := range res.Points {
+		if p.Lambda != lambda || p.Result.Serve.Burn == nil {
+			continue
+		}
+		b := p.Result.Serve.Burn
+		line := fmt.Sprintf("slo burn %s λ=%g: %d/%d windows violated (max burn %.2f, budget %.2f)",
+			p.Strategy, lambda, b.Violated, b.Windows, b.MaxBurnRate, b.Budget)
+		if b.FirstViolation > 0 {
+			line += fmt.Sprintf(", first violation at %v", sim.Duration(b.FirstViolation))
+			if b.Recovery > 0 {
+				line += fmt.Sprintf(", recovered at %v", sim.Duration(b.Recovery))
+			} else {
+				line += ", never recovered"
+			}
+		}
+		fmt.Println(line)
+	}
+	fmt.Println()
+}
+
+// writeTimeSeriesCSVs writes one CSV file per job that carries telemetry,
+// named after the job ID. It runs on the main goroutine over the manifest's
+// canonical job order, so the files are identical at any worker count.
+func writeTimeSeriesCSVs(dir string, manifest harness.Manifest) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	n := 0
+	for _, r := range manifest.Reports {
+		if len(r.TimeSeries) == 0 {
+			continue
+		}
+		path := filepath.Join(dir, strings.ReplaceAll(r.ID, "/", "_")+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteSeriesCSV(f, r.TimeSeries); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		n++
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d time-series CSV files to %s\n", n, dir)
+	return nil
 }
 
 // printNodeStats emits each strategy's per-node utilization table at the

@@ -20,6 +20,10 @@
 //	                  ui.perfetto.dev or chrome://tracing); each strategy
 //	                  becomes one process row, each node×resource one track
 //	-trace-jsonl FILE write raw trace events as JSON Lines
+//	-critpath         print a critical-path latency breakdown per strategy:
+//	                  the query's end-to-end time attributed to disk, CPU,
+//	                  network and buffer activity, with uncovered time
+//	                  reported as queue-wait
 package main
 
 import (
@@ -49,6 +53,7 @@ func main() {
 		quiet      = flag.Bool("quiet", false, "suppress the event trace")
 		traceOut   = flag.String("trace-out", "", "write Chrome trace-event JSON to this file")
 		traceJSONL = flag.String("trace-jsonl", "", "write trace events as JSON Lines to this file")
+		critPath   = flag.Bool("critpath", false, "print the critical-path latency breakdown")
 	)
 	flag.Parse()
 
@@ -121,6 +126,11 @@ func main() {
 		if jsonl != nil {
 			sinks = append(sinks, jsonl)
 		}
+		var coll *obs.Collector
+		if *critPath {
+			coll = &obs.Collector{}
+			sinks = append(sinks, coll)
+		}
 		if len(sinks) == 1 {
 			machine.Eng.SetSink(sinks[0])
 		} else if len(sinks) > 1 {
@@ -136,6 +146,9 @@ func main() {
 		}
 		fmt.Printf("--> %d tuples in %.3fms using %d processors (%d auxiliary)\n\n",
 			res.Tuples, res.ResponseMS(), res.ProcessorsUsed, res.AuxProcessors)
+		if coll != nil {
+			printCritPath(coll.Events())
+		}
 	}
 
 	if jsonl != nil {
@@ -155,6 +168,35 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %d trace events to %s (load at ui.perfetto.dev)\n", chrome.Len(), *traceOut)
+	}
+}
+
+// printCritPath renders the critical-path breakdown of the collected trace:
+// one row per query plus a percentage row attributing end-to-end latency to
+// each resource class, with time covered by no resource span as queue-wait.
+func printCritPath(events []obs.TraceEvent) {
+	bds := obs.AnalyzeCriticalPath(events)
+	if len(bds) == 0 {
+		fmt.Println("critical path: no query spans in trace")
+		return
+	}
+	ms := func(ns int64) string { return fmt.Sprintf("%.3f", float64(ns)/1e6) }
+	fmt.Println("critical path (ms):")
+	fmt.Printf("  %-8s %10s %10s %10s %10s %10s %10s\n",
+		"query", "total", "disk", "cpu", "net", "buffer", "wait")
+	for _, b := range bds {
+		fmt.Printf("  %-8d %10s %10s %10s %10s %10s %10s\n",
+			b.QueryID, ms(b.TotalNS), ms(b.DiskNS), ms(b.CPUNS),
+			ms(b.NetNS), ms(b.BufferNS), ms(b.WaitNS))
+	}
+	s := obs.SummarizePaths(bds)
+	if s.TotalNS > 0 {
+		pct := func(ns int64) string {
+			return fmt.Sprintf("%.1f%%", 100*float64(ns)/float64(s.TotalNS))
+		}
+		fmt.Printf("  %-8s %10s %10s %10s %10s %10s %10s\n\n",
+			"share", "", pct(s.DiskNS), pct(s.CPUNS),
+			pct(s.NetNS), pct(s.BufferNS), pct(s.WaitNS))
 	}
 }
 

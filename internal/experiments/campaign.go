@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gamma"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/workload"
 )
@@ -38,6 +39,11 @@ type CampaignOptions struct {
 	// IsTransient classifies job errors that warrant the harness's single
 	// automatic same-seed retry (see harness.Options.IsTransient).
 	IsTransient func(error) bool
+	// Hub, when non-nil, exposes telemetry samplers for live /metrics
+	// scraping (open-system campaigns with telemetry armed). Each point's
+	// sampler registers under the job ID as it completes and stays
+	// registered, so a scrape shows every finished point's final series.
+	Hub *obs.Hub
 }
 
 // Campaign holds the completed figures plus the harness run manifest.

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/gamma"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/workload"
@@ -127,6 +128,16 @@ type Options struct {
 	// leaving experiment output byte-identical to earlier revisions.
 	Faults          *fault.Spec `json:"Faults,omitempty"`
 	ChainedReplicas bool        `json:"ChainedReplicas,omitempty"`
+
+	// TelemetryWindowMS arms windowed time-series sampling on every machine
+	// the experiment builds (sampling window in simulated milliseconds);
+	// TelemetryCapacity bounds each series ring (0 = obs.DefaultCapacity)
+	// and BurnBudget sets the serving SLO burn evaluator's per-window bad
+	// fraction (0 = serve default). All default off, leaving experiment
+	// output byte-identical to a telemetry-free build.
+	TelemetryWindowMS float64 `json:"TelemetryWindowMS,omitempty"`
+	TelemetryCapacity int     `json:"TelemetryCapacity,omitempty"`
+	BurnBudget        float64 `json:"BurnBudget,omitempty"`
 }
 
 // PaperScale returns the full-scale options used for EXPERIMENTS.md.
@@ -254,6 +265,13 @@ func stampFaults(cfg *gamma.Config, opts Options) {
 	}
 	if opts.ChainedReplicas {
 		cfg.ChainedReplicas = true
+	}
+	if opts.TelemetryWindowMS > 0 {
+		cfg.Telemetry = &gamma.TelemetrySpec{
+			Window:     sim.Duration(opts.TelemetryWindowMS * float64(sim.Millisecond)),
+			Capacity:   opts.TelemetryCapacity,
+			BurnBudget: opts.BurnBudget,
+		}
 	}
 }
 

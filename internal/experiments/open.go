@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/gamma"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -107,8 +108,9 @@ func RunOpenSystem(figs []Figure, opts Options, oopts OpenOptions, copts Campaig
 		for si, name := range fb.fig.Strategies {
 			for _, lambda := range oopts.Lambdas {
 				fb, name, pl, lambda := fb, name, fb.placements[si], lambda
+				id := fmt.Sprintf("fig%s/%s/%s%g", fb.fig.ID, name, oopts.Arrival, lambda)
 				jobs = append(jobs, harness.Job{
-					ID:   fmt.Sprintf("fig%s/%s/%s%g", fb.fig.ID, name, oopts.Arrival, lambda),
+					ID:   id,
 					Seed: opts.Seed,
 					Run: func() (any, error) {
 						machine, err := gamma.Build(fb.rel, pl, cfg)
@@ -128,6 +130,13 @@ func RunOpenSystem(figs []Figure, opts Options, oopts OpenOptions, copts Campaig
 						})
 						if err != nil {
 							return nil, fmt.Errorf("figure %s/%s λ=%g: %w", fb.fig.ID, name, lambda, err)
+						}
+						// Register after the run: RunServe resets the machine
+						// (rebuilding the sampler), so the pre-run pointer
+						// would be stale. Completed points accumulate on the
+						// hub and stay scrapeable after the campaign.
+						if copts.Hub != nil && machine.Telemetry != nil {
+							copts.Hub.Register(id, machine.Telemetry)
 						}
 						return res, nil
 					},
@@ -158,6 +167,7 @@ func RunOpenSystem(figs []Figure, opts Options, oopts OpenOptions, copts Campaig
 				if v := values[j]; v != nil {
 					res := v.(gamma.ServeResult)
 					out.Manifest.Reports[j].FaultEvents = len(res.FaultLog)
+					out.Manifest.Reports[j].TimeSeries = res.Series
 					fr.Points = append(fr.Points, OpenPoint{
 						Strategy: name, Lambda: lambda, Result: res,
 					})
@@ -283,6 +293,96 @@ func (fr OpenFigureResult) Summaries() []StrategySummary {
 		out = append(out, sum)
 	}
 	return out
+}
+
+// seriesFor returns the named series from a point's telemetry snapshot,
+// or nil when telemetry was off or the series is absent.
+func seriesFor(res gamma.ServeResult, name string) *obs.SeriesData {
+	for i := range res.Series {
+		if res.Series[i].Name == name {
+			return &res.Series[i]
+		}
+	}
+	return nil
+}
+
+// HasTimeSeries reports whether any point carries a telemetry snapshot.
+func (fr OpenFigureResult) HasTimeSeries() bool {
+	for _, p := range fr.Points {
+		if len(p.Result.Series) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// timeTable renders one named series over the measurement window: one row
+// per sampling window (time relative to each run's warm-up boundary — runs
+// warm at different absolute instants, so relative time is the comparable
+// axis), one column per strategy at the given offered load.
+func (fr OpenFigureResult) timeTable(title, series string, lambda float64, format string) *stats.Table {
+	strategies := fr.strategies()
+	headers := append([]string{"t (ms)"}, strategies...)
+	tb := stats.NewTable(title, headers...)
+	cols := make([]*obs.SeriesData, len(strategies))
+	rows, windowNS := 0, int64(0)
+	for i, s := range strategies {
+		if r := fr.Point(s, lambda); r != nil {
+			cols[i] = seriesFor(*r, series)
+		}
+		if cols[i] != nil {
+			if n := len(cols[i].Points); n > rows {
+				rows = n
+			}
+			windowNS = cols[i].WindowNS
+		}
+	}
+	for row := 0; row < rows; row++ {
+		out := make([]any, 0, len(headers))
+		out = append(out, fmt.Sprintf("%.0f", float64(row+1)*float64(windowNS)/1e6))
+		for _, c := range cols {
+			if c == nil || row >= len(c.Points) {
+				out = append(out, "-")
+				continue
+			}
+			out = append(out, fmt.Sprintf(format, c.Points[row].V))
+		}
+		tb.AddRow(out...)
+	}
+	return tb
+}
+
+// GoodputOverTime renders the per-window goodput of every strategy at one
+// offered load — the time-resolved view behind the Table aggregate, showing
+// when each strategy's admission control starts shedding rather than just
+// that it did.
+func (fr OpenFigureResult) GoodputOverTime(lambda float64) *stats.Table {
+	return fr.timeTable(
+		fmt.Sprintf("Figure %s goodput-over-time (λ=%g q/s, %v windows)",
+			fr.Figure.ID, lambda, sim.Duration(fr.windowNS())),
+		"serve.goodput_qps", lambda, "%.1f")
+}
+
+// SkewOverTime renders the per-window disk execution skew (max/mean of the
+// window's per-node busy time; 1.0 = balanced) of every strategy at one
+// offered load.
+func (fr OpenFigureResult) SkewOverTime(lambda float64) *stats.Table {
+	return fr.timeTable(
+		fmt.Sprintf("Figure %s disk-skew-over-time (λ=%g q/s, %v windows)",
+			fr.Figure.ID, lambda, sim.Duration(fr.windowNS())),
+		"disk.skew", lambda, "%.2f")
+}
+
+// windowNS reports the sampling window of the figure's telemetry, 0 if off.
+func (fr OpenFigureResult) windowNS() int64 {
+	for _, p := range fr.Points {
+		for i := range p.Result.Series {
+			if w := p.Result.Series[i].WindowNS; w > 0 {
+				return w
+			}
+		}
+	}
+	return 0
 }
 
 // SummaryTable renders the serving summary block declusterbench prints.

@@ -43,6 +43,12 @@ type Config struct {
 	// the simulation schedule is identical either way, it only adds
 	// bookkeeping cost.
 	Metrics bool
+	// Telemetry, when non-nil, arms windowed time-series sampling: every
+	// reset builds a fresh obs.Sampler with per-node disk/CPU probes and
+	// skew gauges, Run drives it on sim-time windows, and results carry the
+	// series snapshot. Nil (the default) leaves the simulation schedule
+	// byte-identical to a telemetry-free build.
+	Telemetry *TelemetrySpec
 	// Seed drives all machine-level randomness (disk latencies, workload).
 	Seed int64
 
@@ -107,6 +113,11 @@ type Machine struct {
 	// picture, non-nil whenever the machine runs in degraded mode.
 	Injector *fault.Injector
 	View     *fault.View
+	// Telemetry is the windowed time-series sampler, non-nil when
+	// Cfg.Telemetry is set (rebuilt on every reset so each run's series
+	// start empty). Run and RunServe drive it; direct Eng users may call
+	// Sample/Rebase themselves.
+	Telemetry *obs.Sampler
 
 	relations []*relationEntry
 }
@@ -337,6 +348,11 @@ func (m *Machine) reset() {
 			m.Injector = fault.NewInjector(eng, *cfg.Faults, view, targets, streams)
 			m.Injector.Start()
 		}
+	}
+
+	m.Telemetry = nil
+	if cfg.Telemetry != nil {
+		m.Telemetry = newMachineSampler(cfg.Telemetry, nodes)
 	}
 
 	m.Eng = eng

@@ -101,6 +101,10 @@ type RunResult struct {
 	// on: latency histograms (queueing vs service per facility), buffer
 	// and network counters, query fan-out and response distributions.
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+	// Series is the windowed time-series snapshot when Config.Telemetry is
+	// armed: per-node utilization/queue-depth and machine skew over the
+	// measurement window (the sampler is rebased at the warm-up boundary).
+	Series []obs.SeriesData `json:"time_series,omitempty"`
 
 	// Degraded-mode accounting. Outcomes tallies every completion in the
 	// window (Completed and the response statistics cover only the
@@ -202,6 +206,7 @@ func (m *Machine) Run(mix workload.Mix, spec RunSpec) (RunResult, error) {
 					measureFrom = p.Now()
 					m.resetStats()
 					diskReads0 = m.totalDiskReads()
+					m.Telemetry.Rebase(int64(p.Now()))
 				}
 				if completed >= target {
 					eng.Stop()
@@ -214,6 +219,7 @@ func (m *Machine) Run(mix workload.Mix, spec RunSpec) (RunResult, error) {
 	if spec.WarmupQueries == 0 {
 		measuring = true
 	}
+	m.spawnTelemetry()
 
 	if err := eng.RunUntil(sim.Time(spec.MaxSimTime)); err != nil {
 		return RunResult{}, err
@@ -244,6 +250,9 @@ func (m *Machine) Run(mix workload.Mix, spec RunSpec) (RunResult, error) {
 	}
 	if m.Injector != nil {
 		out.FaultLog = m.Injector.Log()
+	}
+	if m.Telemetry != nil {
+		out.Series = m.Telemetry.Snapshot()
 	}
 	mean, _ := resp.Interval(10)
 	out.MeanResponseMS = mean

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/serve"
 	"repro/internal/sim"
@@ -62,6 +63,11 @@ type ServeResult struct {
 
 	// FaultLog is the injector's applied-fault log when faults are armed.
 	FaultLog []fault.Record `json:"fault_log,omitempty"`
+
+	// Series is the windowed time-series snapshot when Config.Telemetry is
+	// armed: machine probes plus the serving layer's goodput/shed/queue
+	// series, sampled at the same instants.
+	Series []obs.SeriesData `json:"time_series,omitempty"`
 }
 
 // String renders the headline numbers.
@@ -102,6 +108,13 @@ func (m *Machine) RunServe(mix workload.Mix, spec ServeSpec) (ServeResult, error
 		Access: access,
 		OnWarm: func() { m.resetStats() },
 	}
+	if m.Telemetry != nil {
+		// The serving layer adds its own probes to the machine sampler and
+		// drives sampling (plus the burn evaluator) itself — spawnTelemetry
+		// is not called here, or windows would be sampled twice.
+		cfg.Telemetry = m.Telemetry
+		cfg.BurnBudget = m.Cfg.Telemetry.BurnBudget
+	}
 
 	res, err := serve.Run(m.Eng, rng.NewFactory(seed^serveSeedTag), cfg, m.Host)
 	if err != nil {
@@ -130,6 +143,9 @@ func (m *Machine) RunServe(mix workload.Mix, spec ServeSpec) (ServeResult, error
 	out.CPUSkew = skewRatio(nodeStats, func(u NodeUtil) float64 { return u.CPUUtil })
 	if m.Injector != nil {
 		out.FaultLog = m.Injector.Log()
+	}
+	if m.Telemetry != nil {
+		out.Series = m.Telemetry.Snapshot()
 	}
 	return out, nil
 }

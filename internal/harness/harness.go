@@ -20,6 +20,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Job is one independent unit of work. Run must be self-contained: the
@@ -81,6 +83,10 @@ type JobReport struct {
 	// encoded in the job ID.
 	Arrival    string  `json:"arrival,omitempty"`
 	OfferedQPS float64 `json:"offered_qps,omitempty"`
+	// TimeSeries carries the job's windowed telemetry snapshot when the
+	// campaign ran with sampling armed. Filled by the caller from the run
+	// result, like FaultEvents.
+	TimeSeries []obs.SeriesData `json:"time_series,omitempty"`
 }
 
 // Failed reports whether the job ended in any failure (error, panic, or

@@ -71,6 +71,10 @@ func (c *CPU) run(p *sim.Proc, instr, prio int) {
 // Utilization reports the fraction of time the CPU has been busy.
 func (c *CPU) Utilization() float64 { return c.fac.Utilization() }
 
+// BusySeconds reports cumulative busy time in simulated seconds since the
+// last stats reset (the windowed-utilization probe's raw reading).
+func (c *CPU) BusySeconds() float64 { return c.fac.BusySeconds() }
+
 // QueueLen reports the number of requests waiting for the CPU.
 func (c *CPU) QueueLen() int { return c.fac.QueueLen() }
 

@@ -351,6 +351,11 @@ func (d *Disk) QueueLen() int { return len(d.queue) }
 // Utilization reports the fraction of time the arm was busy.
 func (d *Disk) Utilization() float64 { return d.util.Mean(float64(d.eng.Now())) }
 
+// BusySeconds reports the arm's cumulative busy time in simulated seconds
+// since the last stats reset (the windowed-utilization probe's raw
+// reading).
+func (d *Disk) BusySeconds() float64 { return d.util.Integral(float64(d.eng.Now())) / 1e9 }
+
 // MeanServiceMS reports the mean per-request mechanism time, ms.
 func (d *Disk) MeanServiceMS() float64 { return d.svc.Mean() }
 

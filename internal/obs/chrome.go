@@ -184,12 +184,28 @@ func (c *ChromeTracer) WriteJSON(w io.Writer) error {
 			})
 	}
 
-	// Stable order for the viewer: sort spans by start time within a pid.
+	// Fully deterministic order for the viewer and the golden test: by
+	// (pid, start time, track, longer-span-first, name). Longer spans
+	// first puts a parent before the children sharing its start time, and
+	// the name tiebreak makes the order independent of Emit interleaving
+	// when engines share one tracer from several goroutines.
 	sort.SliceStable(events, func(i, j int) bool {
-		if events[i].pid != events[j].pid {
-			return events[i].pid < events[j].pid
+		a, b := events[i], events[j]
+		if a.pid != b.pid {
+			return a.pid < b.pid
 		}
-		return events[i].ev.T < events[j].ev.T
+		if a.ev.T != b.ev.T {
+			return a.ev.T < b.ev.T
+		}
+		ta := tids[track{pid: a.pid, node: a.ev.Node, category: a.ev.Category}]
+		tb := tids[track{pid: b.pid, node: b.ev.Node, category: b.ev.Category}]
+		if ta != tb {
+			return ta < tb
+		}
+		if a.ev.Dur != b.ev.Dur {
+			return a.ev.Dur > b.ev.Dur
+		}
+		return a.ev.Name < b.ev.Name
 	})
 	for _, pe := range events {
 		ev := pe.ev
@@ -225,6 +241,11 @@ func (c *ChromeTracer) WriteJSON(w io.Writer) error {
 		out.TraceEvents = append(out.TraceEvents, ce)
 	}
 
+	// encoding/json escapes quotes, backslashes, control characters and
+	// (with HTML escaping on, the default we pin here) <, > and & — span
+	// names carry operator text and error strings, so arbitrary bytes must
+	// round-trip as valid JSON the Perfetto loader accepts.
 	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(true)
 	return enc.Encode(out)
 }

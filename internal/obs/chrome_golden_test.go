@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// chromeGolden pins the exact bytes WriteJSON produces for a trace whose
+// names and args carry every character class that needs escaping: quotes,
+// backslashes, newlines, HTML-special characters (escaped as \u00XX with
+// SetEscapeHTML pinned on), and multi-byte unicode (passed through raw).
+// Also pins the deterministic ordering rules: metadata first (processes,
+// then tracks in rank order), events by (time, track, longer-span-first,
+// name).
+const chromeGolden = `{"traceEvents":[{"name":"process_name","ph":"M","ts":0,"pid":0,"tid":0,"args":{"name":"escape \u0026 \u003ccheck\u003e"}},{"name":"thread_name","ph":"M","ts":0,"pid":0,"tid":0,"args":{"name":"host query"}},{"name":"thread_sort_index","ph":"M","ts":0,"pid":0,"tid":0,"args":{"sort_index":0}},{"name":"thread_name","ph":"M","ts":0,"pid":0,"tid":1,"args":{"name":"node0 cpu"}},{"name":"thread_sort_index","ph":"M","ts":0,"pid":0,"tid":1,"args":{"sort_index":1}},{"name":"thread_name","ph":"M","ts":0,"pid":0,"tid":2,"args":{"name":"node0 disk"}},{"name":"thread_sort_index","ph":"M","ts":0,"pid":0,"tid":2,"args":{"sort_index":2}},{"name":"thread_name","ph":"M","ts":0,"pid":0,"tid":3,"args":{"name":"node0 net"}},{"name":"thread_sort_index","ph":"M","ts":0,"pid":0,"tid":3,"args":{"sort_index":3}},{"name":"sel \"unique2\" \u003c= 5 \u0026 x\\y","cat":"query","ph":"X","ts":1,"dur":0.5,"pid":0,"tid":0,"args":{"detail":"line1\nline2","query":1}},{"name":"a-child","cat":"cpu","ph":"X","ts":1.2,"dur":0.3,"pid":0,"tid":1},{"name":"b-parent","cat":"cpu","ph":"X","ts":1.2,"dur":0.3,"pid":0,"tid":1,"args":{"query":1}},{"name":"read π/2 ☃","cat":"disk","ph":"X","ts":1.2,"dur":0.1,"pid":0,"tid":2,"args":{"query":1}},{"name":"drop \u003cpkt\u003e","cat":"net","ph":"i","ts":1.4,"pid":0,"tid":3,"s":"t"}],"displayTimeUnit":"ms"}
+`
+
+func goldenTracer() *ChromeTracer {
+	c := NewChromeTracer()
+	c.BeginProcess("escape & <check>")
+	c.Emit(TraceEvent{T: 1000, Dur: 500, Node: NoNode, Kind: KindSpan, Category: "query",
+		Name: `sel "unique2" <= 5 & x\y`, QueryID: 1, Detail: "line1\nline2"})
+	c.Emit(TraceEvent{T: 1200, Dur: 100, Node: 0, Kind: KindSpan, Category: "disk",
+		Name: "read π/2 ☃", QueryID: 1})
+	c.Emit(TraceEvent{T: 1200, Dur: 300, Node: 0, Kind: KindSpan, Category: "cpu",
+		Name: "b-parent", QueryID: 1})
+	c.Emit(TraceEvent{T: 1200, Dur: 300, Node: 0, Kind: KindSpan, Category: "cpu",
+		Name: "a-child"})
+	c.Emit(TraceEvent{T: 1400, Node: 0, Kind: KindInstant, Category: "net", Name: "drop <pkt>"})
+	return c
+}
+
+func TestChromeWriteJSONGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenTracer().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != chromeGolden {
+		t.Errorf("trace JSON drifted from golden.\ngot:\n%s\nwant:\n%s",
+			b.String(), chromeGolden)
+	}
+	// The golden must itself be valid JSON (guards against committing a
+	// hand-mangled constant).
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(chromeGolden), &doc); err != nil {
+		t.Fatalf("golden is not valid JSON: %v", err)
+	}
+}
+
+// TestChromeEmitOrderIndependence re-emits the golden trace in a different
+// interleaving: the sort must normalize it to the identical file, so traces
+// collected from concurrently-running engines are stable.
+func TestChromeEmitOrderIndependence(t *testing.T) {
+	c := NewChromeTracer()
+	c.BeginProcess("escape & <check>")
+	c.Emit(TraceEvent{T: 1400, Node: 0, Kind: KindInstant, Category: "net", Name: "drop <pkt>"})
+	c.Emit(TraceEvent{T: 1200, Dur: 300, Node: 0, Kind: KindSpan, Category: "cpu",
+		Name: "a-child"})
+	c.Emit(TraceEvent{T: 1200, Dur: 100, Node: 0, Kind: KindSpan, Category: "disk",
+		Name: "read π/2 ☃", QueryID: 1})
+	c.Emit(TraceEvent{T: 1200, Dur: 300, Node: 0, Kind: KindSpan, Category: "cpu",
+		Name: "b-parent", QueryID: 1})
+	c.Emit(TraceEvent{T: 1000, Dur: 500, Node: NoNode, Kind: KindSpan, Category: "query",
+		Name: `sel "unique2" <= 5 & x\y`, QueryID: 1, Detail: "line1\nline2"})
+
+	var got, want strings.Builder
+	if err := c.WriteJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	if err := goldenTracer().WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("emit order changed output.\ngot:\n%s\nwant:\n%s",
+			got.String(), want.String())
+	}
+}

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Collector is a Sink that retains every event in memory for post-run
+// analysis (the critical-path breakdown). Emit is concurrent-safe, like
+// the other sinks.
+type Collector struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+// Emit implements Sink.
+func (c *Collector) Emit(ev TraceEvent) {
+	c.mu.Lock()
+	c.events = append(c.events, ev)
+	c.mu.Unlock()
+}
+
+// Events returns a copy of everything collected so far.
+func (c *Collector) Events() []TraceEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]TraceEvent(nil), c.events...)
+}
+
+// PathBreakdown attributes one query's end-to-end latency to the hardware
+// resources its spans cover. Overlapping resource activity (a disk
+// transfer interleaved with the CPU byte-transfer interrupts it causes)
+// is attributed once, to the highest-priority resource — disk before CPU
+// before network before buffer — so the columns sum to the total. Time
+// inside the query interval covered by no resource span is queue-wait:
+// the query (or one of its operators) sat in a facility queue or waited
+// on coordination.
+type PathBreakdown struct {
+	QueryID  int64 `json:"query_id"`
+	StartNS  int64 `json:"start_ns"`
+	TotalNS  int64 `json:"total_ns"`
+	DiskNS   int64 `json:"disk_ns"`
+	CPUNS    int64 `json:"cpu_ns"`
+	NetNS    int64 `json:"net_ns"`
+	BufferNS int64 `json:"buffer_ns"`
+	WaitNS   int64 `json:"wait_ns"`
+}
+
+// resourceRank orders attribution priority; -1 means not a resource.
+func resourceRank(category string) int {
+	switch category {
+	case "disk":
+		return 0
+	case "cpu":
+		return 1
+	case "net":
+		return 2
+	case "buffer":
+		return 3
+	}
+	return -1
+}
+
+func (b *PathBreakdown) add(rank int, d int64) {
+	switch rank {
+	case 0:
+		b.DiskNS += d
+	case 1:
+		b.CPUNS += d
+	case 2:
+		b.NetNS += d
+	case 3:
+		b.BufferNS += d
+	default:
+		b.WaitNS += d
+	}
+}
+
+// span is one clipped resource interval.
+type span struct {
+	start, end int64
+	rank       int
+}
+
+// AnalyzeCriticalPath walks a trace's span set and produces one latency
+// breakdown per query, in QueryID order. A query's interval is the hull of
+// its "query"-category spans (the coordinator's end-to-end span plus any
+// phase spans it contains); resource spans sharing the QueryID are swept
+// over that interval by elementary sub-interval, each attributed to the
+// highest-priority active resource. Queries without a "query" span (e.g.
+// a truncated trace) are skipped.
+func AnalyzeCriticalPath(events []TraceEvent) []PathBreakdown {
+	type qacc struct {
+		start, end int64
+		hasQuery   bool
+		spans      []span
+	}
+	byQuery := map[int64]*qacc{}
+	get := func(qid int64) *qacc {
+		a := byQuery[qid]
+		if a == nil {
+			a = &qacc{}
+			byQuery[qid] = a
+		}
+		return a
+	}
+	for _, ev := range events {
+		if ev.QueryID == 0 || ev.Kind != KindSpan {
+			continue
+		}
+		if ev.Category == "query" {
+			a := get(ev.QueryID)
+			if !a.hasQuery || ev.T < a.start {
+				a.start = ev.T
+			}
+			if !a.hasQuery || ev.T+ev.Dur > a.end {
+				a.end = ev.T + ev.Dur
+			}
+			a.hasQuery = true
+			continue
+		}
+		if rank := resourceRank(ev.Category); rank >= 0 {
+			get(ev.QueryID).spans = append(get(ev.QueryID).spans,
+				span{start: ev.T, end: ev.T + ev.Dur, rank: rank})
+		}
+	}
+
+	qids := make([]int64, 0, len(byQuery))
+	for qid, a := range byQuery {
+		if a.hasQuery && a.end > a.start {
+			qids = append(qids, qid)
+		}
+	}
+	sort.Slice(qids, func(i, j int) bool { return qids[i] < qids[j] })
+
+	out := make([]PathBreakdown, 0, len(qids))
+	for _, qid := range qids {
+		a := byQuery[qid]
+		b := PathBreakdown{QueryID: qid, StartNS: a.start, TotalNS: a.end - a.start}
+		// Clip resource spans to the query interval and collect elementary
+		// boundaries.
+		spans := make([]span, 0, len(a.spans))
+		cuts := []int64{a.start, a.end}
+		for _, sp := range a.spans {
+			if sp.start < a.start {
+				sp.start = a.start
+			}
+			if sp.end > a.end {
+				sp.end = a.end
+			}
+			if sp.end <= sp.start {
+				continue
+			}
+			spans = append(spans, sp)
+			cuts = append(cuts, sp.start, sp.end)
+		}
+		sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+		// Sweep each elementary interval, attributing it to the highest-
+		// priority resource active there (queue-wait when none is).
+		for i := 0; i+1 < len(cuts); i++ {
+			lo, hi := cuts[i], cuts[i+1]
+			if hi <= lo {
+				continue
+			}
+			best := -1
+			for _, sp := range spans {
+				if sp.start <= lo && sp.end >= hi && (best == -1 || sp.rank < best) {
+					best = sp.rank
+				}
+			}
+			b.add(best, hi-lo)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// PathSummary aggregates breakdowns across queries.
+type PathSummary struct {
+	Queries  int   `json:"queries"`
+	TotalNS  int64 `json:"total_ns"`
+	DiskNS   int64 `json:"disk_ns"`
+	CPUNS    int64 `json:"cpu_ns"`
+	NetNS    int64 `json:"net_ns"`
+	BufferNS int64 `json:"buffer_ns"`
+	WaitNS   int64 `json:"wait_ns"`
+}
+
+// SummarizePaths totals a breakdown set.
+func SummarizePaths(bds []PathBreakdown) PathSummary {
+	var s PathSummary
+	for _, b := range bds {
+		s.Queries++
+		s.TotalNS += b.TotalNS
+		s.DiskNS += b.DiskNS
+		s.CPUNS += b.CPUNS
+		s.NetNS += b.NetNS
+		s.BufferNS += b.BufferNS
+		s.WaitNS += b.WaitNS
+	}
+	return s
+}

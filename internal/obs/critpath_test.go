@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func qspan(qid int64, cat string, t, dur int64) TraceEvent {
+	return TraceEvent{T: t, Dur: dur, Node: 0, Kind: KindSpan, Category: cat,
+		Name: cat, QueryID: qid}
+}
+
+func TestAnalyzeCriticalPath(t *testing.T) {
+	events := []TraceEvent{
+		qspan(1, "query", 0, 100),
+		qspan(1, "disk", 10, 30), // [10,40)
+		qspan(1, "cpu", 30, 30),  // [30,60): 30-40 overlaps disk, disk wins
+		qspan(1, "net", 90, 5),   // [90,95)
+		qspan(1, "op", 0, 100),   // operator span: not a resource, ignored
+		qspan(2, "disk", 0, 50),  // no query span: skipped
+		qspan(0, "disk", 0, 50),  // no query id: ignored
+		{T: 5, Node: 0, Kind: KindInstant, Category: "disk", Name: "drop", QueryID: 1},
+	}
+	got := AnalyzeCriticalPath(events)
+	want := []PathBreakdown{{
+		QueryID: 1, StartNS: 0, TotalNS: 100,
+		DiskNS: 30, CPUNS: 20, NetNS: 5, WaitNS: 45,
+	}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("breakdown = %+v, want %+v", got, want)
+	}
+}
+
+func TestAnalyzeCriticalPathClipsToHull(t *testing.T) {
+	events := []TraceEvent{
+		qspan(7, "query", 100, 50), // hull [100,150)
+		qspan(7, "disk", 80, 40),   // clipped to [100,120)
+		qspan(7, "cpu", 140, 30),   // clipped to [140,150)
+		qspan(7, "buffer", 200, 9), // entirely outside: dropped
+	}
+	got := AnalyzeCriticalPath(events)
+	want := []PathBreakdown{{
+		QueryID: 7, StartNS: 100, TotalNS: 50,
+		DiskNS: 20, CPUNS: 10, WaitNS: 20,
+	}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("breakdown = %+v, want %+v", got, want)
+	}
+}
+
+func TestAnalyzeCriticalPathMultiQueryOrder(t *testing.T) {
+	events := []TraceEvent{
+		qspan(9, "query", 0, 10),
+		qspan(3, "query", 5, 10),
+		// Two query spans for one query: the hull covers both.
+		qspan(3, "query", 20, 10),
+	}
+	got := AnalyzeCriticalPath(events)
+	if len(got) != 2 || got[0].QueryID != 3 || got[1].QueryID != 9 {
+		t.Fatalf("order = %+v, want queries 3 then 9", got)
+	}
+	if got[0].TotalNS != 25 || got[0].WaitNS != 25 {
+		t.Errorf("hull of two query spans = %+v, want total 25 all wait", got[0])
+	}
+}
+
+func TestCollectorAndSummary(t *testing.T) {
+	var c Collector
+	c.Emit(qspan(1, "query", 0, 10))
+	c.Emit(qspan(1, "disk", 0, 4))
+	c.Emit(qspan(2, "query", 0, 20))
+	c.Emit(qspan(2, "cpu", 0, 5))
+	s := SummarizePaths(AnalyzeCriticalPath(c.Events()))
+	want := PathSummary{Queries: 2, TotalNS: 30, DiskNS: 4, CPUNS: 5, WaitNS: 21}
+	if s != want {
+		t.Errorf("summary = %+v, want %+v", s, want)
+	}
+}

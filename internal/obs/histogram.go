@@ -3,6 +3,7 @@ package obs
 import (
 	"math"
 	"sort"
+	"sync"
 )
 
 // Growth is the histogram's per-bucket growth factor. Bucket i covers
@@ -23,7 +24,12 @@ var invLogGrowth = 1 / math.Log(Growth)
 // so p50/p90/p99 come out of O(buckets) memory with a bounded relative
 // error whatever the run length. Non-positive samples (a zero-length
 // service, say) are counted exactly in a dedicated zero bucket.
+//
+// All methods are concurrent-safe: a registry shared across harness
+// workers (or snapshotted by the live /metrics endpoint mid-run) may
+// observe and summarize the same histogram from different goroutines.
 type Histogram struct {
+	mu      sync.Mutex
 	n       int64
 	sum     float64
 	min     float64
@@ -47,6 +53,8 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.n == 0 {
 		h.min, h.max = v, v
 	} else {
@@ -71,12 +79,35 @@ func (h *Histogram) N() int64 {
 	if h == nil {
 		return 0
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return h.n
+}
+
+// Sum reports the exact sample sum (0 on a nil receiver). Together with N
+// it lets windowed probes derive per-window means from two cumulative
+// readings.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
 }
 
 // Mean reports the exact sample mean (0 if empty).
 func (h *Histogram) Mean() float64 {
-	if h == nil || h.n == 0 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.meanLocked()
+}
+
+func (h *Histogram) meanLocked() float64 {
+	if h.n == 0 {
 		return 0
 	}
 	return h.sum / float64(h.n)
@@ -87,6 +118,8 @@ func (h *Histogram) Min() float64 {
 	if h == nil {
 		return 0
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return h.min
 }
 
@@ -95,6 +128,8 @@ func (h *Histogram) Max() float64 {
 	if h == nil {
 		return 0
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return h.max
 }
 
@@ -102,7 +137,16 @@ func (h *Histogram) Max() float64 {
 // samples are within MaxQuantileRelError of the exact order statistic;
 // non-positive samples are reported as 0 exactly. Returns 0 if empty.
 func (h *Histogram) Quantile(p float64) float64 {
-	if h == nil || h.n == 0 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(p)
+}
+
+func (h *Histogram) quantileLocked(p float64) float64 {
+	if h.n == 0 {
 		return 0
 	}
 	rank := p / 100 * float64(h.n-1)
@@ -163,24 +207,39 @@ func (h *Histogram) sortedBuckets() []int {
 // Merge folds another histogram's samples into h. Bucket counts add, so
 // merging is associative and order-independent on all count-derived
 // statistics (quantiles, N, min, max). No-op when other is nil or empty.
+// The other histogram is copied under its own lock first (never holding
+// both locks at once), so opposite-direction merges cannot deadlock.
 func (h *Histogram) Merge(other *Histogram) {
-	if h == nil || other == nil || other.n == 0 {
+	if h == nil || other == nil {
 		return
 	}
+	other.mu.Lock()
+	on, osum, omin, omax, ozeros := other.n, other.sum, other.min, other.max, other.zeros
+	obuckets := make(map[int]int64, len(other.buckets))
+	for i, c := range other.buckets {
+		obuckets[i] = c
+	}
+	other.mu.Unlock()
+	if on == 0 {
+		return
+	}
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.n == 0 {
-		h.min, h.max = other.min, other.max
+		h.min, h.max = omin, omax
 	} else {
-		if other.min < h.min {
-			h.min = other.min
+		if omin < h.min {
+			h.min = omin
 		}
-		if other.max > h.max {
-			h.max = other.max
+		if omax > h.max {
+			h.max = omax
 		}
 	}
-	h.n += other.n
-	h.sum += other.sum
-	h.zeros += other.zeros
-	for i, c := range other.buckets {
+	h.n += on
+	h.sum += osum
+	h.zeros += ozeros
+	for i, c := range obuckets {
 		h.buckets[i] += c
 	}
 }
@@ -190,6 +249,8 @@ func (h *Histogram) Reset() {
 	if h == nil {
 		return
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	h.n, h.sum, h.min, h.max, h.zeros = 0, 0, 0, 0, 0
 	for i := range h.buckets {
 		delete(h.buckets, i)
@@ -201,13 +262,15 @@ func (h *Histogram) Stats() HistogramStats {
 	if h == nil {
 		return HistogramStats{}
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return HistogramStats{
 		N:    h.n,
-		Mean: h.Mean(),
+		Mean: h.meanLocked(),
 		Min:  h.min,
 		Max:  h.max,
-		P50:  h.Quantile(50),
-		P90:  h.Quantile(90),
-		P99:  h.Quantile(99),
+		P50:  h.quantileLocked(50),
+		P90:  h.quantileLocked(90),
+		P99:  h.quantileLocked(99),
 	}
 }

@@ -1,6 +1,11 @@
 package obs
 
-import "sort"
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
 
 // Registry holds named metrics: monotonic counters, point-in-time gauges,
 // and log-bucketed histograms. Lookup interns by name, so repeated
@@ -10,7 +15,13 @@ import "sort"
 // A nil *Registry is the disabled state: it hands out nil handles, and all
 // handle methods no-op on nil receivers, so instrumented code pays one
 // predictable branch when metrics are off.
+//
+// Lookup, Snapshot and Reset are concurrent-safe: harness workers each
+// drive their own engine but may share a registry (and the live /metrics
+// endpoint snapshots while simulations run), so the name maps are guarded
+// by an RWMutex and the handle values themselves are atomics.
 type Registry struct {
+	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
@@ -31,8 +42,15 @@ func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
+	r.mu.RLock()
 	c, ok := r.counters[name]
-	if !ok {
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; !ok {
 		c = &Counter{}
 		r.counters[name] = c
 	}
@@ -45,8 +63,15 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
+	r.mu.RLock()
 	g, ok := r.gauges[name]
-	if !ok {
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; !ok {
 		g = &Gauge{}
 		r.gauges[name] = g
 	}
@@ -59,8 +84,15 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if r == nil {
 		return nil
 	}
+	r.mu.RLock()
 	h, ok := r.hists[name]
-	if !ok {
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; !ok {
 		h = NewHistogram()
 		r.hists[name] = h
 	}
@@ -74,26 +106,28 @@ func (r *Registry) Reset() {
 	if r == nil {
 		return
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	for _, c := range r.counters {
-		c.v = 0
+		c.v.Store(0)
 	}
 	for _, g := range r.gauges {
-		g.v = 0
+		g.Set(0)
 	}
 	for _, h := range r.hists {
 		h.Reset()
 	}
 }
 
-// Counter is a monotonically increasing integer metric.
-type Counter struct{ v int64 }
+// Counter is a monotonically increasing integer metric. Updates are atomic.
+type Counter struct{ v atomic.Int64 }
 
 // Add increments the counter by d. No-op on a nil receiver.
 func (c *Counter) Add(d int64) {
 	if c == nil {
 		return
 	}
-	c.v += d
+	c.v.Add(d)
 }
 
 // Inc increments the counter by one. No-op on a nil receiver.
@@ -104,7 +138,7 @@ func (c *Counter) Reset() {
 	if c == nil {
 		return
 	}
-	c.v = 0
+	c.v.Store(0)
 }
 
 // Value reports the current count (0 on a nil receiver).
@@ -112,18 +146,19 @@ func (c *Counter) Value() int64 {
 	if c == nil {
 		return 0
 	}
-	return c.v
+	return c.v.Load()
 }
 
-// Gauge is a point-in-time float metric (per-node utilization, queue depth).
-type Gauge struct{ v float64 }
+// Gauge is a point-in-time float metric (per-node utilization, queue
+// depth). Updates are atomic (float bits in a uint64).
+type Gauge struct{ bits atomic.Uint64 }
 
 // Set records the gauge's current value. No-op on a nil receiver.
 func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
 	}
-	g.v = v
+	g.bits.Store(math.Float64bits(v))
 }
 
 // Value reports the last value set (0 on a nil receiver).
@@ -131,7 +166,7 @@ func (g *Gauge) Value() float64 {
 	if g == nil {
 		return 0
 	}
-	return g.v
+	return math.Float64frombits(g.bits.Load())
 }
 
 // HistogramStats is the serializable summary of one histogram.
@@ -160,16 +195,18 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return s
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	if len(r.counters) > 0 {
 		s.Counters = make(map[string]int64, len(r.counters))
 		for name, c := range r.counters {
-			s.Counters[name] = c.v
+			s.Counters[name] = c.Value()
 		}
 	}
 	if len(r.gauges) > 0 {
 		s.Gauges = make(map[string]float64, len(r.gauges))
 		for name, g := range r.gauges {
-			s.Gauges[name] = g.v
+			s.Gauges[name] = g.Value()
 		}
 	}
 	if len(r.hists) > 0 {
@@ -186,6 +223,8 @@ func (r *Registry) CounterNames() []string {
 	if r == nil {
 		return nil
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make([]string, 0, len(r.counters))
 	for name := range r.counters {
 		out = append(out, name)

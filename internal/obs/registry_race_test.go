@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentAccess hammers one registry from many goroutines —
+// interning new instruments, observing existing ones, snapshotting and
+// resetting concurrently. The harness shares a registry across campaign
+// workers and the /metrics endpoint reads while the simulation writes, so
+// this must be clean under -race (CI runs this package with -race).
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const iters = 400
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Interning: some names are shared across goroutines, some
+				// are goroutine-private, so both the fast path (RLock hit)
+				// and the slow path (write lock insert) are exercised.
+				r.Counter("shared.count").Add(1)
+				r.Counter(fmt.Sprintf("w%d.count", w)).Add(2)
+				r.Gauge("shared.gauge").Set(float64(i))
+				h := r.Histogram("shared.lat")
+				h.Observe(float64(i % 50))
+				if i%10 == 0 {
+					_ = h.Quantile(95)
+					_ = h.Stats()
+				}
+			}
+		}()
+	}
+	// Concurrent readers and a reset in the middle.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			snap := r.Snapshot()
+			_ = snap
+			_ = r.CounterNames()
+			if i == iters/2 {
+				r.Reset()
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Post-reset totals are not deterministic; the shape must survive.
+	names := r.CounterNames()
+	if len(names) < workers {
+		t.Errorf("only %d counters interned, want >= %d", len(names), workers)
+	}
+	if got := r.Counter("shared.count"); got.Value() < 0 {
+		t.Errorf("shared counter negative: %d", got.Value())
+	}
+}
+
+// TestHistogramConcurrentMerge checks Merge against opposite-direction
+// merges (a classic lock-ordering deadlock shape) and concurrent observes.
+func TestHistogramConcurrentMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			a.Observe(float64(i))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			a.Merge(b)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			b.Observe(1)
+			b.Merge(a)
+		}
+	}()
+	wg.Wait()
+	if a.N() < 500 {
+		t.Errorf("a.N() = %d, want >= 500", a.N())
+	}
+}

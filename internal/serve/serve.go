@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sim"
 )
@@ -62,6 +63,20 @@ type Config struct {
 	// window opens — the hook the machine uses to reset its own hardware
 	// statistics in step with the tracker.
 	OnWarm func()
+
+	// Telemetry, when non-nil, attaches the run to a windowed time-series
+	// sampler: Run registers the serving probes (arrival/goodput/shed
+	// rates, queue depth, in-flight count, admission credits, windowed
+	// queue wait) and spawns a driver process that samples every window of
+	// simulated time and feeds the SLO burn-rate evaluator. The sampler is
+	// rebased at the warm-up boundary, right after OnWarm, so measured
+	// series exclude the transient. Nil (the default) spawns nothing: the
+	// simulation schedule is byte-identical to a telemetry-free build.
+	Telemetry *obs.Sampler
+	// BurnBudget is the per-window fraction of completions allowed to miss
+	// the SLO (or fail) before the window counts as an SLO violation.
+	// Default 0.1. Only consulted when Telemetry is set.
+	BurnBudget float64
 }
 
 func (c Config) withDefaults() Config {
@@ -153,6 +168,11 @@ type Result struct {
 	// HitMaxSimTime is true when the run stopped on the time bound rather
 	// than the completion target.
 	HitMaxSimTime bool `json:"hit_max_sim_time"`
+
+	// Burn is the SLO burn-rate evaluator's verdict over the measured
+	// windows — first-violation and recovery times included. Nil when the
+	// run had no telemetry attached.
+	Burn *BurnStats `json:"burn,omitempty"`
 }
 
 // ElapsedSeconds is the measurement window's length in simulated seconds.
@@ -219,6 +239,26 @@ func Run(eng *sim.Engine, streams *rng.Factory, cfg Config, backend Executor) (R
 		perTenantCap = 1
 	}
 
+	// Telemetry driver: one process holding one window of simulated time
+	// per iteration, sampling every probe and scoring the window's SLO
+	// burn. Sim-time events only — the series is as deterministic as the
+	// simulation itself.
+	if cfg.Telemetry != nil {
+		f.burn = newBurnEval(cfg.Telemetry.WindowNS(), cfg.BurnBudget)
+		f.registerProbes(cfg.Telemetry)
+		window := sim.Duration(cfg.Telemetry.WindowNS())
+		eng.Spawn("serve.telemetry", func(p *sim.Proc) {
+			for {
+				p.Hold(window)
+				if eng.Stopped() {
+					return
+				}
+				cfg.Telemetry.Sample(int64(p.Now()))
+				f.burn.observe(p.Now(), f.tracker)
+			}
+		})
+	}
+
 	eng.Spawn("serve.arrivals", func(p *sim.Proc) {
 		for {
 			p.Hold(arr.Next())
@@ -282,6 +322,10 @@ func Run(eng *sim.Engine, streams *rng.Factory, cfg Config, backend Executor) (R
 	if !f.warmed {
 		res.MeasuredStart = end // empty window: no measured statistics
 	}
+	if f.burn != nil {
+		b := f.burn.stats
+		res.Burn = &b
+	}
 	return res, nil
 }
 
@@ -297,10 +341,52 @@ type frontend struct {
 
 	nextID         int64
 	completedTotal int64
+	inflight       int // queries currently executing (telemetry probe)
 	outcomes       OutcomeCounts
 	warmed         bool
 	done           bool
 	measuredStart  sim.Time
+	burn           *burnEval // nil without telemetry
+}
+
+// registerProbes wires the serving layer's time series onto the sampler.
+// Closure-state probes (the windowed queue-wait mean, the windowed shed
+// rate) re-prime themselves at warm-up because Rebase invokes every probe.
+func (f *frontend) registerProbes(ts *obs.Sampler) {
+	tr := f.tracker
+	ts.Register("serve.arrival_qps", obs.SeriesRate, func() float64 { return float64(tr.arrivals) })
+	ts.Register("serve.admitted_qps", obs.SeriesRate, func() float64 { return float64(tr.admitted) })
+	ts.Register("serve.completed_qps", obs.SeriesRate, func() float64 { return float64(tr.completed) })
+	ts.Register("serve.goodput_qps", obs.SeriesRate, func() float64 { return float64(tr.good) })
+	ts.Register("serve.shed_qps", obs.SeriesRate, func() float64 { return float64(tr.shedTotal()) })
+	ts.Register("serve.queue_depth", obs.SeriesGauge, func() float64 { return float64(f.queues.Len()) })
+	ts.Register("serve.inflight", obs.SeriesGauge, func() float64 { return float64(f.inflight) })
+	ts.Register("serve.credits", obs.SeriesGauge, func() float64 {
+		return float64(f.cfg.MaxInService - f.inflight)
+	})
+	// Windowed queue-wait mean: difference the histogram's cumulative sum
+	// and count across sample instants.
+	prevSum, prevN := tr.queueWait.Sum(), tr.queueWait.N()
+	ts.Register("serve.queue_wait_ms", obs.SeriesGauge, func() float64 {
+		sum, n := tr.queueWait.Sum(), tr.queueWait.N()
+		dSum, dN := sum-prevSum, n-prevN
+		prevSum, prevN = sum, n
+		if dN <= 0 || dSum < 0 {
+			return 0
+		}
+		return dSum / float64(dN)
+	})
+	// Windowed shed rate: sheds over arrivals within the window.
+	prevShed, prevArr := tr.shedTotal(), tr.arrivals
+	ts.Register("serve.shed_rate", obs.SeriesGauge, func() float64 {
+		shed, arr := tr.shedTotal(), tr.arrivals
+		dShed, dArr := shed-prevShed, arr-prevArr
+		prevShed, prevArr = shed, arr
+		if dArr <= 0 || dShed < 0 {
+			return 0
+		}
+		return float64(dShed) / float64(dArr)
+	})
 }
 
 // worker is one service slot: it blocks on the work-token mailbox, picks
@@ -324,7 +410,9 @@ func (f *frontend) worker(p *sim.Proc) {
 			f.tracker.Shed(item.tenant, ShedAged)
 			continue
 		}
+		f.inflight++
 		res := f.backend.Execute(p, item.pred, f.cfg.Access)
+		f.inflight--
 		waitMS := sim.Duration(wait).Milliseconds()
 		latencyMS := sim.Duration(p.Now() - item.arrived).Milliseconds()
 		f.tracker.Complete(item.tenant, waitMS, latencyMS, res.Outcome.Succeeded())
@@ -345,6 +433,13 @@ func (f *frontend) advance(p *sim.Proc) {
 			if f.cfg.OnWarm != nil {
 				f.cfg.OnWarm()
 			}
+			// Rebase the time series and burn deltas after every cumulative
+			// source (tracker, machine stats via OnWarm) has reset, so the
+			// first measured window never sees a negative delta.
+			if f.burn != nil {
+				f.burn.rebase(f.tracker)
+			}
+			f.cfg.Telemetry.Rebase(int64(p.Now()))
 		}
 		return
 	}

@@ -117,6 +117,15 @@ func (tr *Tracker) Reset() {
 // Completed reports the number of completed queries since the last reset.
 func (tr *Tracker) Completed() int64 { return tr.completed }
 
+// shedTotal sums the typed shed counts since the last reset.
+func (tr *Tracker) shedTotal() int64 {
+	var t int64
+	for _, v := range tr.sheds {
+		t += v
+	}
+	return t
+}
+
 // SLOStats is a serialization-friendly snapshot of the tracker.
 type SLOStats struct {
 	SLOms     float64 `json:"slo_ms"`

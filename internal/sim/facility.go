@@ -215,6 +215,12 @@ func (f *Facility) Served() int64 { return f.served }
 // Utilization reports the fraction of time the facility was busy up to now.
 func (f *Facility) Utilization() float64 { return f.util.Mean(float64(f.eng.now)) }
 
+// BusySeconds reports cumulative busy time in simulated seconds since the
+// last stats reset. Windowed utilization probes difference two readings:
+// delta busy-seconds over delta sim-seconds is the utilization of exactly
+// that window.
+func (f *Facility) BusySeconds() float64 { return f.util.Integral(float64(f.eng.now)) / 1e9 }
+
 // MeanQueueLen reports the time-average queue length up to now.
 func (f *Facility) MeanQueueLen() float64 { return f.qlen.Mean(float64(f.eng.now)) }
 

@@ -164,6 +164,21 @@ func (w *TimeWeighted) Mean(t float64) float64 {
 // Max reports the largest value ever set.
 func (w *TimeWeighted) Max() float64 { return w.max }
 
+// Integral reports the accumulated value-time area over [origin, t]: for a
+// 0/1 busy indicator it is total busy time in the caller's time unit. A t
+// beyond the last Set extrapolates the current value; a t inside the
+// recorded history is clamped to it, like Mean.
+func (w *TimeWeighted) Integral(t float64) float64 {
+	if !w.started {
+		return 0
+	}
+	area := w.area
+	if t > w.lastT {
+		area += w.lastV * (t - w.lastT)
+	}
+	return area
+}
+
 // ResetAt restarts the averaging window at time t, keeping the current value.
 // Used to discard the warm-up transient.
 func (w *TimeWeighted) ResetAt(t float64) {

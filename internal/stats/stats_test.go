@@ -156,6 +156,35 @@ func TestTimeWeightedNoElapsedTime(t *testing.T) {
 	}
 }
 
+// Integral backs the windowed-utilization telemetry: differencing it across
+// window boundaries must reproduce per-window busy time exactly.
+func TestTimeWeightedIntegral(t *testing.T) {
+	var w TimeWeighted
+	if got := w.Integral(10); got != 0 {
+		t.Fatalf("integral before any Set = %g, want 0", got)
+	}
+	// A 0/1 busy indicator: busy [2,5), idle [5,8), busy [8,...).
+	w.Set(2, 1)
+	w.Set(5, 0)
+	w.Set(8, 1)
+	if got := w.Integral(8); !almost(got, 3, 1e-12) {
+		t.Fatalf("integral at last Set = %g, want 3", got)
+	}
+	// Beyond the last Set the current value extrapolates.
+	if got := w.Integral(12); !almost(got, 7, 1e-12) {
+		t.Fatalf("extrapolated integral = %g, want 7", got)
+	}
+	// Inside the recorded history it clamps to the last Set, like Mean.
+	if got := w.Integral(3); !almost(got, 3, 1e-12) {
+		t.Fatalf("clamped integral = %g, want 3", got)
+	}
+	// Per-window differencing (what the rate probes do): busy fraction of
+	// [8,12] is (7-3)/4 = 1.
+	if frac := (w.Integral(12) - w.Integral(8)) / 4; !almost(frac, 1, 1e-12) {
+		t.Fatalf("windowed busy fraction = %g, want 1", frac)
+	}
+}
+
 func TestBatchMeansInterval(t *testing.T) {
 	var b BatchMeans
 	for i := 0; i < 1000; i++ {
