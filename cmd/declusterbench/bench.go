@@ -62,6 +62,7 @@ func kernelBenchmarks() []struct {
 		{"ReadyRingWake", benchReadyRingWake},
 		{"SpanDisabled", benchSpanDisabled},
 		{"SamplerSample", benchSamplerSample},
+		{"HeatSample", benchHeatSample},
 		{"OpenArrivals", benchOpenArrivals},
 		{"OpenArrivalsSampled", benchOpenArrivalsSampled},
 	}
@@ -192,6 +193,25 @@ func benchSamplerSample(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Sample(int64(i+1) * int64(250*sim.Millisecond))
+	}
+}
+
+// benchHeatSample measures one fragment-heat accounting step: the buffer
+// hit/miss counters, queue-wait attribution and the per-read Account call —
+// what every page access pays when heat is armed. The hot path must stay
+// allocation-free (0 allocs/op); the histogram's wait bucket is pre-warmed
+// so bucket growth doesn't count against the steady state.
+func benchHeatSample(b *testing.B) {
+	hm := obs.NewHeatMap()
+	h := hm.Frag("bench", 0, obs.FragPrimary)
+	h.DiskWait(int64(sim.Millisecond))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.BufferHit()
+		h.BufferMiss()
+		h.DiskWait(int64(sim.Millisecond))
+		h.Account(2, 1, 512, i&1 == 1)
 	}
 }
 

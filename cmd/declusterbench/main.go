@@ -58,6 +58,16 @@
 //	-metrics-linger D keep the /metrics endpoint up D after the campaign
 //	                 (lets scrapers collect the final state; CI uses this)
 //
+// Fragment heat (DESIGN.md §11): per-fragment access accounting, heatmap
+// tables with concentration indices, hot-fragment reports, and
+// deterministic CSV export:
+//
+//	-heatmap         arm fragment heat accounting; print per-strategy
+//	                 heatmap tables and a hot-fragments line per figure
+//	-heatmap-dir DIR write one canonical-order heat CSV per (figure,
+//	                 strategy) into DIR (implies -heatmap)
+//	-heat-topk K     hot-fragment report size (default 5; implies -heatmap)
+//
 // Fault injection (all fault flags imply chained replicas and the degraded
 // scheduler; see DESIGN.md §8):
 //
@@ -143,6 +153,9 @@ func run() int {
 		tsDir       = flag.String("ts-dir", "", "write per-point CSV time-series files into this directory (implies telemetry)")
 		metricsAddr = flag.String("metrics-addr", "", "serve live OpenMetrics on this address at /metrics (implies telemetry)")
 		metricsLing = flag.Duration("metrics-linger", 0, "keep the /metrics endpoint up this long after the campaign")
+		heatmap     = flag.Bool("heatmap", false, "arm fragment heat accounting and print per-strategy heatmap tables")
+		heatmapDir  = flag.String("heatmap-dir", "", "write per-strategy fragment heat CSVs into this directory (implies -heatmap)")
+		heatTopK    = flag.Int("heat-topk", 0, "hot-fragment report size (default 5; implies -heatmap)")
 		faultsKs    = flag.String("faults", "", `degraded-mode campaign: comma-separated failed-disk counts, e.g. "0,1,2"`)
 		mtbf        = flag.Duration("mtbf", 0, "mean time between stochastic transient disk read errors (0 = off)")
 		killDisk    = flag.String("kill-disk", "", `fail-stop disks: comma-separated "n@t[+d]" items, e.g. "3@10ms" or "0@5ms+200ms"`)
@@ -235,6 +248,13 @@ func run() int {
 		}
 		opts.TelemetryWindowMS = float64(w) / float64(time.Millisecond)
 	}
+	if *heatTopK < 0 {
+		return fail(fmt.Errorf("negative -heat-topk %d", *heatTopK))
+	}
+	if *heatmap || *heatmapDir != "" || *heatTopK > 0 {
+		opts.Heat = true
+		opts.HeatTopK = *heatTopK
+	}
 	var hub *obs.Hub
 	if *metricsAddr != "" {
 		hub = obs.NewHub()
@@ -313,6 +333,13 @@ func run() int {
 			}
 			fmt.Println()
 			printOpenTelemetry(res, *csv)
+			printOpenHeat(res, *csv)
+		}
+		if *heatmapDir != "" {
+			if err := writeHeatCSVs(*heatmapDir, openHeatFiles(campaign.Figures)); err != nil {
+				fmt.Fprintln(os.Stderr, "declusterbench:", err)
+				exit = 1
+			}
 		}
 	} else if *faultsKs != "" {
 		if len(figs) == 0 {
@@ -380,7 +407,16 @@ func run() int {
 			if *nodeStats {
 				printNodeStats(res, *csv)
 			}
+			if opts.Heat {
+				printHeat(res, *csv)
+			}
 			fmt.Println()
+		}
+		if *heatmapDir != "" {
+			if err := writeHeatCSVs(*heatmapDir, closedHeatFiles(campaign.Figures)); err != nil {
+				fmt.Fprintln(os.Stderr, "declusterbench:", err)
+				exit = 1
+			}
 		}
 		if opts.Faults.Enabled() {
 			var o gamma.Outcomes
@@ -546,6 +582,104 @@ func writeTimeSeriesCSVs(dir string, manifest harness.Manifest) error {
 		n++
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d time-series CSV files to %s\n", n, dir)
+	return nil
+}
+
+// printHeat emits each strategy's merged fragment heatmap plus its
+// hot-fragments line.
+func printHeat(res experiments.FigureResult, csv bool) {
+	for _, s := range res.Figure.Strategies {
+		snap := res.StrategyHeat(s)
+		if snap == nil {
+			continue
+		}
+		tb := res.HeatTable(s)
+		if csv {
+			fmt.Print(tb.CSV())
+		} else {
+			fmt.Println(tb.String())
+		}
+		if line := experiments.HotLine(res.Figure.ID, s, snap); line != "" {
+			fmt.Println(line)
+		}
+	}
+}
+
+// printOpenHeat is printHeat for open-system figures.
+func printOpenHeat(res experiments.OpenFigureResult, csv bool) {
+	for _, s := range res.Figure.Strategies {
+		snap := res.StrategyHeat(s)
+		if snap == nil {
+			continue
+		}
+		tb := res.HeatTable(s)
+		if csv {
+			fmt.Print(tb.CSV())
+		} else {
+			fmt.Println(tb.String())
+		}
+		if line := experiments.HotLine(res.Figure.ID, s, snap); line != "" {
+			fmt.Println(line)
+		}
+	}
+}
+
+// heatFile is one (figure, strategy) merged heat snapshot destined for a
+// CSV file in -heatmap-dir.
+type heatFile struct {
+	name string
+	snap *obs.HeatSnapshot
+}
+
+// closedHeatFiles collects the merged per-strategy snapshots of a closed
+// campaign in canonical (figure, strategy) order.
+func closedHeatFiles(figures []experiments.FigureResult) []heatFile {
+	var out []heatFile
+	for _, res := range figures {
+		for _, s := range res.Figure.Strategies {
+			if snap := res.StrategyHeat(s); snap != nil {
+				out = append(out, heatFile{"fig" + res.Figure.ID + "_" + s + "_heat.csv", snap})
+			}
+		}
+	}
+	return out
+}
+
+// openHeatFiles is closedHeatFiles for open-system figures.
+func openHeatFiles(figures []experiments.OpenFigureResult) []heatFile {
+	var out []heatFile
+	for _, res := range figures {
+		for _, s := range res.Figure.Strategies {
+			if snap := res.StrategyHeat(s); snap != nil {
+				out = append(out, heatFile{"fig" + res.Figure.ID + "_" + s + "_heat.csv", snap})
+			}
+		}
+	}
+	return out
+}
+
+// writeHeatCSVs writes one canonical-order fragment heat CSV per
+// (figure, strategy). It runs on the main goroutine over figure order and
+// the snapshots' rows are canonically sorted, so the files are
+// byte-identical at any worker count.
+func writeHeatCSVs(dir string, files []heatFile) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, hf := range files {
+		f, err := os.Create(filepath.Join(dir, hf.name))
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteHeatCSV(f, hf.snap); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d fragment heat CSV files to %s\n", len(files), dir)
 	return nil
 }
 

@@ -24,6 +24,10 @@
 //	                  the query's end-to-end time attributed to disk, CPU,
 //	                  network and buffer activity, with uncovered time
 //	                  reported as queue-wait
+//	-frags            print a per-fragment usage breakdown per strategy:
+//	                  which fragments the query touched, pages and busy
+//	                  time per fragment, and which queries made each
+//	                  fragment hot (per-query attribution)
 package main
 
 import (
@@ -54,6 +58,7 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write Chrome trace-event JSON to this file")
 		traceJSONL = flag.String("trace-jsonl", "", "write trace events as JSON Lines to this file")
 		critPath   = flag.Bool("critpath", false, "print the critical-path latency breakdown")
+		frags      = flag.Bool("frags", false, "print the per-fragment usage breakdown")
 	)
 	flag.Parse()
 
@@ -127,7 +132,7 @@ func main() {
 			sinks = append(sinks, jsonl)
 		}
 		var coll *obs.Collector
-		if *critPath {
+		if *critPath || *frags {
 			coll = &obs.Collector{}
 			sinks = append(sinks, coll)
 		}
@@ -146,8 +151,11 @@ func main() {
 		}
 		fmt.Printf("--> %d tuples in %.3fms using %d processors (%d auxiliary)\n\n",
 			res.Tuples, res.ResponseMS(), res.ProcessorsUsed, res.AuxProcessors)
-		if coll != nil {
+		if *critPath {
 			printCritPath(coll.Events())
+		}
+		if *frags {
+			printFragments(coll.Events())
 		}
 	}
 
@@ -198,6 +206,30 @@ func printCritPath(events []obs.TraceEvent) {
 			"share", "", pct(s.DiskNS), pct(s.CPUNS),
 			pct(s.NetNS), pct(s.BufferNS), pct(s.WaitNS))
 	}
+}
+
+// printFragments renders the per-fragment usage breakdown of the collected
+// trace: each fragment the query set touched, hottest first by busy time,
+// with the per-query attribution underneath — the answer to "which queries
+// made fragment F hot".
+func printFragments(events []obs.TraceEvent) {
+	uses := obs.AnalyzeFragments(events)
+	if len(uses) == 0 {
+		fmt.Println("fragments: no fragment spans in trace")
+		return
+	}
+	fmt.Println("fragment usage (hottest first):")
+	fmt.Printf("  %-20s %6s %8s %8s %10s\n", "fragment", "ops", "pages", "tuples", "busy ms")
+	for _, u := range uses {
+		fmt.Printf("  %-20s %6d %8d %8d %10.3f\n",
+			fmt.Sprintf("%s@n%d", u.Name, u.Node), u.Ops, u.Pages, u.Tuples,
+			float64(u.BusyNS)/1e6)
+		for _, q := range u.Queries {
+			fmt.Printf("    query %-6d %6d ops %8d pages %10.3f ms\n",
+				q.QueryID, q.Ops, q.Pages, float64(q.BusyNS)/1e6)
+		}
+	}
+	fmt.Println()
 }
 
 // printEvent renders one trace event in the classic querytrace text format:

@@ -70,14 +70,26 @@ type pendingRead struct {
 // memory — the disk failed or the read hit an injected I/O error — and is
 // delivered to piggybacked waiters too; the page is not marked resident.
 func (b *Pool) Read(p *sim.Proc, physPage int) error {
+	return b.ReadHeat(p, physPage, nil)
+}
+
+// ReadHeat is Read with per-fragment heat attribution: hits (including
+// piggybacked waits, which issue no disk request of their own) and misses
+// are counted on h, and a miss forwards h to the disk so the physical
+// read's queue wait lands on the fragment too. A nil h is exactly Read,
+// so per-fragment misses sum to the disk's read totals when every caller
+// attributes.
+func (b *Pool) ReadHeat(p *sim.Proc, physPage int, h *obs.FragHeat) error {
 	if b.capacity == 0 {
 		b.misses++
 		b.missesC.Inc()
-		return b.disk.Read(p, physPage)
+		h.BufferMiss()
+		return b.disk.ReadHeat(p, physPage, h)
 	}
 	if el, ok := b.resident[physPage]; ok {
 		b.hits++
 		b.hitsC.Inc()
+		h.BufferHit()
 		b.lru.MoveToFront(el)
 		return nil
 	}
@@ -86,14 +98,16 @@ func (b *Pool) Read(p *sim.Proc, physPage int) error {
 		// share its outcome.
 		b.hits++
 		b.hitsC.Inc()
+		h.BufferHit()
 		pr.tr.Wait(p)
 		return pr.err
 	}
 	b.misses++
 	b.missesC.Inc()
+	h.BufferMiss()
 	pr := &pendingRead{tr: sim.NewTrigger(b.eng)}
 	b.inflight[physPage] = pr
-	pr.err = b.disk.Read(p, physPage)
+	pr.err = b.disk.ReadHeat(p, physPage, h)
 	delete(b.inflight, physPage)
 	if pr.err == nil {
 		b.insert(physPage)

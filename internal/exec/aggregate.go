@@ -101,7 +101,9 @@ func (n *Node) runAggregate(p *sim.Proc, req aggOp) {
 	default:
 		acc = frag.Scan(req.Pred.Attr, req.Pred.Lo, req.Pred.Hi)
 	}
-	n.mustCharge(p, acc)
+	h := n.heatFor(req.Relation, false)
+	n.mustCharge(p, acc, h)
+	h.Account(len(acc.IndexPages), len(acc.DataPages), 0, false)
 	n.OpsExecuted++
 
 	var value int64

@@ -140,7 +140,9 @@ func (n *Node) runJoinScan(p *sim.Proc, req joinScan) {
 		lo, hi := minMaxInt64()
 		acc = frag.Scan(req.Attr, lo, hi)
 	}
-	n.mustCharge(p, acc)
+	h := n.heatFor(req.Relation, false)
+	n.mustCharge(p, acc, h)
+	h.Account(len(acc.IndexPages), len(acc.DataPages), 0, false)
 	n.OpsExecuted++
 
 	// Split table: partition the qualifying tuples by join-attribute hash.

@@ -64,6 +64,11 @@ type Node struct {
 	down  bool
 	epoch int
 
+	// Per-fragment heat accumulators, attached by the machine builder when
+	// heat accounting is armed; a nil map (the default) keeps every lookup
+	// returning nil handles, whose increments no-op.
+	heat map[heatKey]*obs.FragHeat
+
 	// Stats.
 	OpsExecuted   int64
 	TuplesShipped int64
@@ -130,6 +135,46 @@ func (n *Node) AddBackupAux(relation string, attr int, aux *storage.AuxFragment)
 		n.auxBackups[relation] = make(map[int]*storage.AuxFragment)
 	}
 	n.auxBackups[relation][attr] = aux
+}
+
+// heatKey addresses one of the node's fragment heat accumulators.
+type heatKey struct {
+	relation string
+	kind     obs.FragKind
+}
+
+// AttachHeat hands the node the heat accumulator for one of its fragments
+// (primary, chained-replica backup, or the relation's auxiliary trees).
+// Called by the machine builder only when heat accounting is armed: with
+// no attachments the hot-path lookups return nil and every increment
+// no-ops, so disabled runs execute the identical schedule.
+func (n *Node) AttachHeat(relation string, kind obs.FragKind, h *obs.FragHeat) {
+	if n.heat == nil {
+		n.heat = make(map[heatKey]*obs.FragHeat)
+	}
+	n.heat[heatKey{relation, kind}] = h
+}
+
+// heatFor resolves the accumulator a data-fragment access charges (nil
+// when heat is off).
+func (n *Node) heatFor(relation string, backup bool) *obs.FragHeat {
+	if n.heat == nil {
+		return nil
+	}
+	kind := obs.FragPrimary
+	if backup {
+		kind = obs.FragBackup
+	}
+	return n.heat[heatKey{relation, kind}]
+}
+
+// auxHeat resolves the accumulator for the relation's auxiliary trees on
+// this node (primary and backup aux share it — both live on this disk).
+func (n *Node) auxHeat(relation string) *obs.FragHeat {
+	if n.heat == nil {
+		return nil
+	}
+	return n.heat[heatKey{relation, obs.FragAux}]
 }
 
 // Fragment returns the node's fragment of a relation, or nil.
@@ -271,9 +316,11 @@ func (n *Node) runSelect(p *sim.Proc, req startOp) {
 	p.SetQID(req.QueryID)
 	epoch := n.epoch
 	span := n.eng.StartSpan()
+	h := n.heatFor(req.Relation, req.Backup)
+	fspan := n.eng.StartSpan()
 	acc, err := n.selectAccess(req)
 	if err == nil {
-		err = n.chargeAccess(p, acc)
+		err = n.chargeAccess(p, acc, h)
 	}
 	if err != nil {
 		n.sendError(p, epoch, req.QueryID, req.ReplyTo, req.Attempt, err)
@@ -288,6 +335,15 @@ func (n *Node) runSelect(p *sim.Proc, req startOp) {
 	n.tuplesC.Add(int64(len(acc.Tuples)))
 
 	bytes := n.params.TupleBytes(len(acc.Tuples)) + controlBytes
+	h.Account(len(acc.IndexPages), len(acc.DataPages), int64(bytes), req.Backup)
+	if fspan.Active() {
+		kind := obs.FragPrimary
+		if req.Backup {
+			kind = obs.FragBackup
+		}
+		fspan.End(n.ID, "frag", obs.FragID{Relation: req.Relation, Kind: kind}.Label(),
+			req.QueryID, fmt.Sprintf("%d pages, %d tuples", acc.PageCount(), len(acc.Tuples)))
+	}
 	n.send(p, epoch, hw.Message{
 		From: n.ID, To: req.ReplyTo, Bytes: bytes,
 		Payload: opResult{QueryID: req.QueryID, Node: n.ID, Tuples: len(acc.Tuples), Attempt: req.Attempt},
@@ -329,6 +385,8 @@ func (n *Node) runAuxLookup(p *sim.Proc, req auxLookup) {
 		auxes = n.auxBackups
 	}
 	aux := auxes[req.Relation][req.Pred.Attr]
+	h := n.auxHeat(req.Relation)
+	fspan := n.eng.StartSpan()
 	var err error
 	var procs []int
 	var tids []int64
@@ -339,7 +397,7 @@ func (n *Node) runAuxLookup(p *sim.Proc, req auxLookup) {
 	} else {
 		procs, tids, pages = aux.Lookup(req.Pred.Lo, req.Pred.Hi)
 		for _, pg := range pages {
-			if err = n.Pool.Read(p, pg); err != nil {
+			if err = n.Pool.ReadHeat(p, pg, h); err != nil {
 				break
 			}
 			n.CPU.Execute(p, n.costs.IndexPageInstr)
@@ -360,6 +418,11 @@ func (n *Node) runAuxLookup(p *sim.Proc, req auxLookup) {
 	n.OpsExecuted++
 	n.opsC.Inc()
 	bytes := len(procs)*auxEntryBytes + controlBytes
+	h.Account(len(pages), 0, int64(bytes), req.Backup)
+	if fspan.Active() {
+		fspan.End(n.ID, "frag", obs.FragID{Relation: req.Relation, Kind: obs.FragAux}.Label(),
+			req.QueryID, fmt.Sprintf("%d pages, %d tuples", len(pages), 0))
+	}
 	n.send(p, epoch, hw.Message{
 		From: n.ID, To: req.ReplyTo, Bytes: bytes,
 		Payload: auxResult{QueryID: req.QueryID, Node: n.ID, TIDsByProc: byProc,
@@ -374,16 +437,17 @@ func (n *Node) runAuxLookup(p *sim.Proc, req auxLookup) {
 // chargeAccess replays an access-method page trace against the node's
 // buffer pool, disk and CPU: index pages cost IndexPageInstr each, data
 // pages cost the Table 2 per-page processing (14600 instructions). It stops
-// at the first failed page read and reports it.
-func (n *Node) chargeAccess(p *sim.Proc, acc storage.Access) error {
+// at the first failed page read and reports it. h attributes every page
+// request to the fragment being read (nil = heat off, no accounting).
+func (n *Node) chargeAccess(p *sim.Proc, acc storage.Access, h *obs.FragHeat) error {
 	for _, pg := range acc.IndexPages {
-		if err := n.Pool.Read(p, pg); err != nil {
+		if err := n.Pool.ReadHeat(p, pg, h); err != nil {
 			return err
 		}
 		n.CPU.Execute(p, n.costs.IndexPageInstr)
 	}
 	for _, pg := range acc.DataPages {
-		if err := n.Pool.Read(p, pg); err != nil {
+		if err := n.Pool.ReadHeat(p, pg, h); err != nil {
 			return err
 		}
 		n.CPU.Execute(p, n.params.ReadPageInstr)
@@ -403,8 +467,8 @@ func mustAccess(acc storage.Access, err error) storage.Access {
 	return acc
 }
 
-func (n *Node) mustCharge(p *sim.Proc, acc storage.Access) {
-	if err := n.chargeAccess(p, acc); err != nil {
+func (n *Node) mustCharge(p *sim.Proc, acc storage.Access, h *obs.FragHeat) {
+	if err := n.chargeAccess(p, acc, h); err != nil {
 		panic(err)
 	}
 }

@@ -195,6 +195,7 @@ func RunCampaign(figs []Figure, opts Options, copts CampaignOptions) (Campaign, 
 				if v := values[j]; v != nil {
 					res := v.(gamma.RunResult)
 					out.Manifest.Reports[j].FaultEvents = len(res.FaultLog)
+					out.Manifest.Reports[j].HotFragments = res.HotFragments
 					fr.Points = append(fr.Points, Point{
 						Strategy: name, MPL: mpl, Result: res,
 					})

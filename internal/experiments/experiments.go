@@ -138,6 +138,15 @@ type Options struct {
 	TelemetryWindowMS float64 `json:"TelemetryWindowMS,omitempty"`
 	TelemetryCapacity int     `json:"TelemetryCapacity,omitempty"`
 	BurnBudget        float64 `json:"BurnBudget,omitempty"`
+
+	// Heat arms fragment-granularity access accounting on every machine
+	// the experiment builds: each run's result carries a heat snapshot and
+	// hot-fragment report, and HeatTopK bounds that report (0 =
+	// obs.DefaultHeatTopK). Off by default — the simulation schedule is
+	// identical either way, and disabled output stays byte-identical to a
+	// heat-free build.
+	Heat     bool `json:"Heat,omitempty"`
+	HeatTopK int  `json:"HeatTopK,omitempty"`
 }
 
 // PaperScale returns the full-scale options used for EXPERIMENTS.md.
@@ -272,6 +281,9 @@ func stampFaults(cfg *gamma.Config, opts Options) {
 			Capacity:   opts.TelemetryCapacity,
 			BurnBudget: opts.BurnBudget,
 		}
+	}
+	if opts.Heat {
+		cfg.Heat = &gamma.HeatSpec{TopK: opts.HeatTopK}
 	}
 }
 

@@ -168,6 +168,7 @@ func RunOpenSystem(figs []Figure, opts Options, oopts OpenOptions, copts Campaig
 					res := v.(gamma.ServeResult)
 					out.Manifest.Reports[j].FaultEvents = len(res.FaultLog)
 					out.Manifest.Reports[j].TimeSeries = res.Series
+					out.Manifest.Reports[j].HotFragments = res.HotFragments
 					fr.Points = append(fr.Points, OpenPoint{
 						Strategy: name, Lambda: lambda, Result: res,
 					})

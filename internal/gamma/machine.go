@@ -49,6 +49,14 @@ type Config struct {
 	// series snapshot. Nil (the default) leaves the simulation schedule
 	// byte-identical to a telemetry-free build.
 	Telemetry *TelemetrySpec
+	// Heat, when non-nil, arms fragment-granularity access accounting:
+	// every reset builds a fresh obs.HeatMap whose accumulators the
+	// execution layer increments allocation-free, results carry a
+	// HeatSnapshot plus the HotFragments report, and — when Telemetry is
+	// also armed — per-fragment decayed-heat series join the sampler. Nil
+	// (the default) attaches no accumulators, so the simulation schedule
+	// and all output stay byte-identical to a heat-free build.
+	Heat *HeatSpec
 	// Seed drives all machine-level randomness (disk latencies, workload).
 	Seed int64
 
@@ -118,6 +126,10 @@ type Machine struct {
 	// start empty). Run and RunServe drive it; direct Eng users may call
 	// Sample/Rebase themselves.
 	Telemetry *obs.Sampler
+	// Heat is the per-fragment accumulator map, non-nil when Cfg.Heat is
+	// set (rebuilt on every reset). Run/RunServe reset it at the warm-up
+	// boundary and snapshot it into the result.
+	Heat *obs.HeatMap
 
 	relations []*relationEntry
 }
@@ -235,6 +247,15 @@ func (m *Machine) reset() {
 		allocs[i] = storage.NewAllocator(cfg.HW.PagesPerDisk())
 	}
 
+	// Fragment heat accounting: one accumulator per physical fragment,
+	// attached as the fragments are built below. Gated so a heat-free
+	// machine attaches nothing and the execution hot path sees only nil
+	// handles (whose increments no-op).
+	m.Heat = nil
+	if cfg.Heat != nil {
+		m.Heat = obs.NewHeatMap()
+	}
+
 	// Lay out every relation on every node and register each in the System
 	// Catalog (Figure 7): per-disk tuple/page counts and index metadata.
 	for _, entry := range m.relations {
@@ -252,6 +273,11 @@ func (m *Machine) reset() {
 				frag.AddIndex(a, alloc)
 			}
 			n.AddFragment(entry.rel.Name, frag)
+			if m.Heat != nil {
+				fh := m.Heat.Frag(entry.rel.Name, i, obs.FragPrimary)
+				fh.AddSize(int64(frag.FootprintPages()))
+				n.AttachHeat(entry.rel.Name, obs.FragPrimary, fh)
+			}
 			ns := catalog.NodeStats{
 				Tuples:    frag.NumTuples(),
 				DataPages: frag.NumDataPages(),
@@ -270,6 +296,11 @@ func (m *Machine) reset() {
 			for attr, perProc := range entry.auxByAttr {
 				aux := storage.BuildAux(i, perProc[i], cfg.Layout, alloc)
 				n.AddAux(entry.rel.Name, attr, aux)
+				if m.Heat != nil {
+					ah := m.Heat.Frag(entry.rel.Name, i, obs.FragAux)
+					ah.AddSize(int64(aux.FootprintPages()))
+					n.AttachHeat(entry.rel.Name, obs.FragAux, ah)
+				}
 				ns.AuxEntries += aux.Entries
 				ns.AuxPages += aux.Tree.Pages()
 			}
@@ -292,9 +323,23 @@ func (m *Machine) reset() {
 					frag.AddIndex(a, alloc)
 				}
 				nodes[b].AddBackupFragment(entry.rel.Name, frag)
+				if m.Heat != nil {
+					// Keyed by node b: the replica lives on b's disk, so
+					// its heat sums into b's disk totals.
+					bh := m.Heat.Frag(entry.rel.Name, b, obs.FragBackup)
+					bh.AddSize(int64(frag.FootprintPages()))
+					nodes[b].AttachHeat(entry.rel.Name, obs.FragBackup, bh)
+				}
 				for attr, perProc := range entry.auxByAttr {
 					aux := storage.BuildAux(i, perProc[i], cfg.Layout, alloc)
 					nodes[b].AddBackupAux(entry.rel.Name, attr, aux)
+					if m.Heat != nil {
+						// Backup aux shares node b's aux accumulator: both
+						// live on the same disk and serve the same trees.
+						ah := m.Heat.Frag(entry.rel.Name, b, obs.FragAux)
+						ah.AddSize(int64(aux.FootprintPages()))
+						nodes[b].AttachHeat(entry.rel.Name, obs.FragAux, ah)
+					}
 				}
 			}
 		}
@@ -353,6 +398,9 @@ func (m *Machine) reset() {
 	m.Telemetry = nil
 	if cfg.Telemetry != nil {
 		m.Telemetry = newMachineSampler(cfg.Telemetry, nodes)
+		if m.Heat != nil {
+			registerHeatSeries(m.Telemetry, m.Heat, cfg.Heat, m.Placement.Name())
+		}
 	}
 
 	m.Eng = eng

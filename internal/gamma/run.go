@@ -105,6 +105,12 @@ type RunResult struct {
 	// armed: per-node utilization/queue-depth and machine skew over the
 	// measurement window (the sampler is rebased at the warm-up boundary).
 	Series []obs.SeriesData `json:"time_series,omitempty"`
+	// Heat is the per-fragment access snapshot when Config.Heat is armed
+	// (counters cover the measurement window only), and HotFragments
+	// ranks its hottest entries — the detector feed an adaptive
+	// re-declustering loop subscribes to.
+	Heat         *obs.HeatSnapshot `json:"heat,omitempty"`
+	HotFragments []obs.HotFragment `json:"hot_fragments,omitempty"`
 
 	// Degraded-mode accounting. Outcomes tallies every completion in the
 	// window (Completed and the response statistics cover only the
@@ -254,6 +260,10 @@ func (m *Machine) Run(mix workload.Mix, spec RunSpec) (RunResult, error) {
 	if m.Telemetry != nil {
 		out.Series = m.Telemetry.Snapshot()
 	}
+	if m.Heat != nil {
+		out.Heat = m.Heat.Snapshot(m.Cfg.Heat.topK())
+		out.HotFragments = out.Heat.HotFragments()
+	}
 	mean, _ := resp.Interval(10)
 	out.MeanResponseMS = mean
 	out.P95ResponseMS = resp.Percentile(95)
@@ -331,6 +341,7 @@ func (m *Machine) resetStats() {
 		n.ResetStats()
 	}
 	m.Net.ResetStats()
+	m.Heat.Reset()
 	if reg := m.Eng.Metrics(); reg != nil {
 		reg.Reset()
 	}

@@ -68,6 +68,12 @@ type ServeResult struct {
 	// armed: machine probes plus the serving layer's goodput/shed/queue
 	// series, sampled at the same instants.
 	Series []obs.SeriesData `json:"time_series,omitempty"`
+
+	// Heat is the per-fragment access snapshot when Config.Heat is armed
+	// (counters cover the post-warm-up interval), and HotFragments ranks
+	// its hottest entries — the same detector feed RunResult carries.
+	Heat         *obs.HeatSnapshot `json:"heat,omitempty"`
+	HotFragments []obs.HotFragment `json:"hot_fragments,omitempty"`
 }
 
 // String renders the headline numbers.
@@ -146,6 +152,10 @@ func (m *Machine) RunServe(mix workload.Mix, spec ServeSpec) (ServeResult, error
 	}
 	if m.Telemetry != nil {
 		out.Series = m.Telemetry.Snapshot()
+	}
+	if m.Heat != nil {
+		out.Heat = m.Heat.Snapshot(m.Cfg.Heat.topK())
+		out.HotFragments = out.Heat.HotFragments()
 	}
 	return out, nil
 }

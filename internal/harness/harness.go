@@ -87,6 +87,10 @@ type JobReport struct {
 	// campaign ran with sampling armed. Filled by the caller from the run
 	// result, like FaultEvents.
 	TimeSeries []obs.SeriesData `json:"time_series,omitempty"`
+	// HotFragments carries the job's hot-fragment report when the campaign
+	// ran with fragment heat accounting armed. Filled by the caller from
+	// the run result, like FaultEvents.
+	HotFragments []obs.HotFragment `json:"hot_fragments,omitempty"`
 }
 
 // Failed reports whether the job ended in any failure (error, panic, or

@@ -72,6 +72,7 @@ type diskReq struct {
 	seq      uint64
 	arrived  sim.Time
 	qid      int64
+	heat     *obs.FragHeat // fragment attribution for queue wait (nil = off)
 }
 
 // NewDisk creates the disk for a node. cpu receives the FIFO transfer
@@ -97,7 +98,14 @@ func (d *Disk) SetNode(node int) { d.node = node }
 // memory: the disk is failed, the read was hit by an injected transient
 // error, or the page address is out of range.
 func (d *Disk) Read(p *sim.Proc, physPage int) error {
-	if err := d.access(p, physPage, false); err != nil {
+	return d.ReadHeat(p, physPage, nil)
+}
+
+// ReadHeat is Read with per-fragment heat attribution: the request's queue
+// wait (arrival to arm start) is charged to h when the arm picks it up. A
+// nil h is exactly Read.
+func (d *Disk) ReadHeat(p *sim.Proc, physPage int, h *obs.FragHeat) error {
+	if err := d.access(p, physPage, false, h); err != nil {
 		return err
 	}
 	// Page is in the channel FIFO; move it to memory on the CPU.
@@ -110,10 +118,10 @@ func (d *Disk) Read(p *sim.Proc, physPage int) error {
 func (d *Disk) Write(p *sim.Proc, physPage int) error {
 	// Move memory -> channel FIFO first, then run the arm.
 	d.cpu.ExecuteTransfer(p, d.params.XferPageInstr)
-	return d.access(p, physPage, true)
+	return d.access(p, physPage, true, nil)
 }
 
-func (d *Disk) access(p *sim.Proc, physPage int, write bool) error {
+func (d *Disk) access(p *sim.Proc, physPage int, write bool, h *obs.FragHeat) error {
 	if physPage < 0 || physPage >= d.params.PagesPerDisk() {
 		d.ioErrors++
 		return fmt.Errorf("hw: %s: physical page %d out of range [0,%d)",
@@ -131,7 +139,7 @@ func (d *Disk) access(p *sim.Proc, physPage int, write bool) error {
 	d.nextSeq++
 	d.queue = append(d.queue, diskReq{
 		p: p, physPage: physPage, write: write, seq: d.nextSeq,
-		arrived: d.eng.Now(), qid: p.QID(),
+		arrived: d.eng.Now(), qid: p.QID(), heat: h,
 	})
 	if !d.busy {
 		d.busy = true
@@ -215,6 +223,7 @@ func (d *Disk) startNext() {
 	waitMS := sim.Duration(d.eng.Now() - req.arrived).Milliseconds()
 	d.wait.Add(waitMS)
 	d.waitH.Observe(waitMS)
+	req.heat.DiskWait(int64(d.eng.Now() - req.arrived))
 	d.headCyl = d.params.Cylinder(req.physPage)
 	d.lastPage = req.physPage
 	if req.write {

@@ -1,0 +1,104 @@
+package obs
+
+// Per-query fragment attribution from trace events. The execution layer
+// emits one KindSpan event per fragment access with Category "frag", Name
+// set to the fragment label ("TENK", "TENK:backup", "TENK:aux"), Detail
+// "<pages> pages, <tuples> tuples", and Dur covering the access's charge
+// loop (buffer/disk/CPU). AnalyzeFragments aggregates those spans per
+// (node, fragment) and, within each fragment, per query — answering
+// "which queries made fragment F hot".
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FragQueryUse is one query's contribution to a fragment's heat.
+type FragQueryUse struct {
+	QueryID int64
+	Ops     int   // fragment accesses by this query
+	Pages   int   // pages requested
+	BusyNS  int64 // simulated time inside the access charge loops
+}
+
+// FragUse is one fragment's aggregated trace attribution.
+type FragUse struct {
+	Node    int
+	Name    string // fragment label: relation plus :backup/:aux suffix
+	Ops     int
+	Pages   int
+	Tuples  int
+	BusyNS  int64
+	Queries []FragQueryUse // hottest first (BusyNS, then QueryID)
+}
+
+// AnalyzeFragments reduces a trace to per-fragment usage with per-query
+// breakdowns, hottest fragment first (BusyNS, ties by node then name).
+// Events without Category "frag" are ignored, so any trace — including
+// ones carrying the full cpu/disk/net span set — can be fed directly.
+func AnalyzeFragments(events []TraceEvent) []FragUse {
+	type fragKey struct {
+		node int
+		name string
+	}
+	type fragAgg struct {
+		use    FragUse
+		byQID  map[int64]int // index into queries
+		qorder []FragQueryUse
+	}
+	aggs := make(map[fragKey]*fragAgg)
+	var order []fragKey
+	for _, ev := range events {
+		if ev.Kind != KindSpan || ev.Category != "frag" {
+			continue
+		}
+		var pages, tuples int
+		fmt.Sscanf(ev.Detail, "%d pages, %d tuples", &pages, &tuples)
+		k := fragKey{ev.Node, ev.Name}
+		a := aggs[k]
+		if a == nil {
+			a = &fragAgg{
+				use:   FragUse{Node: ev.Node, Name: ev.Name},
+				byQID: make(map[int64]int),
+			}
+			aggs[k] = a
+			order = append(order, k)
+		}
+		a.use.Ops++
+		a.use.Pages += pages
+		a.use.Tuples += tuples
+		a.use.BusyNS += ev.Dur
+		qi, ok := a.byQID[ev.QueryID]
+		if !ok {
+			qi = len(a.qorder)
+			a.byQID[ev.QueryID] = qi
+			a.qorder = append(a.qorder, FragQueryUse{QueryID: ev.QueryID})
+		}
+		q := &a.qorder[qi]
+		q.Ops++
+		q.Pages += pages
+		q.BusyNS += ev.Dur
+	}
+	out := make([]FragUse, 0, len(order))
+	for _, k := range order {
+		a := aggs[k]
+		sort.SliceStable(a.qorder, func(i, j int) bool {
+			if a.qorder[i].BusyNS != a.qorder[j].BusyNS {
+				return a.qorder[i].BusyNS > a.qorder[j].BusyNS
+			}
+			return a.qorder[i].QueryID < a.qorder[j].QueryID
+		})
+		a.use.Queries = a.qorder
+		out = append(out, a.use)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].BusyNS != out[j].BusyNS {
+			return out[i].BusyNS > out[j].BusyNS
+		}
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

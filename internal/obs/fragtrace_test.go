@@ -1,0 +1,76 @@
+package obs
+
+import "testing"
+
+func fragSpan(node int, name string, qid, dur int64, detail string) TraceEvent {
+	return TraceEvent{
+		Kind: KindSpan, Category: "frag", Node: node, Name: name,
+		QueryID: qid, Dur: dur, Detail: detail,
+	}
+}
+
+func TestAnalyzeFragments(t *testing.T) {
+	events := []TraceEvent{
+		// Noise the analyzer must skip: wrong category, wrong kind.
+		{Kind: KindSpan, Category: "disk", Node: 0, Name: "read", Dur: 99},
+		{Kind: KindInstant, Category: "frag", Node: 0, Name: "tenk"},
+		fragSpan(0, "tenk", 1, 10, "3 pages, 2 tuples"),
+		fragSpan(0, "tenk", 2, 30, "5 pages, 1 tuples"),
+		fragSpan(0, "tenk", 1, 5, "2 pages, 0 tuples"),
+		fragSpan(1, "tenk:aux", 2, 50, "2 pages, 0 tuples"),
+	}
+	uses := AnalyzeFragments(events)
+	if len(uses) != 2 {
+		t.Fatalf("fragments = %d, want 2", len(uses))
+	}
+	// Hottest first: the aux fragment's 50ns beats tenk@n0's 45ns.
+	aux := uses[0]
+	if aux.Name != "tenk:aux" || aux.Node != 1 || aux.BusyNS != 50 || aux.Pages != 2 {
+		t.Errorf("hottest = %+v", aux)
+	}
+	fr := uses[1]
+	if fr.Ops != 3 || fr.Pages != 10 || fr.Tuples != 3 || fr.BusyNS != 45 {
+		t.Errorf("tenk aggregate = %+v", fr)
+	}
+	// Per-query breakdown, hottest query first: q2 (30ns) before q1 (15ns).
+	if len(fr.Queries) != 2 {
+		t.Fatalf("queries = %d, want 2", len(fr.Queries))
+	}
+	if q := fr.Queries[0]; q.QueryID != 2 || q.Ops != 1 || q.Pages != 5 || q.BusyNS != 30 {
+		t.Errorf("query 0 = %+v", q)
+	}
+	if q := fr.Queries[1]; q.QueryID != 1 || q.Ops != 2 || q.Pages != 5 || q.BusyNS != 15 {
+		t.Errorf("query 1 = %+v", q)
+	}
+}
+
+func TestAnalyzeFragmentsEmpty(t *testing.T) {
+	if got := AnalyzeFragments(nil); len(got) != 0 {
+		t.Errorf("empty trace produced %+v", got)
+	}
+	// A trace with no frag spans at all reduces to nothing too.
+	events := []TraceEvent{{Kind: KindSpan, Category: "cpu", Name: "svc", Dur: 1}}
+	if got := AnalyzeFragments(events); len(got) != 0 {
+		t.Errorf("frag-free trace produced %+v", got)
+	}
+}
+
+func TestAnalyzeFragmentsBusyTieOrder(t *testing.T) {
+	events := []TraceEvent{
+		fragSpan(2, "b", 1, 10, "1 pages, 0 tuples"),
+		fragSpan(1, "a", 1, 10, "1 pages, 0 tuples"),
+		fragSpan(1, "b", 1, 10, "1 pages, 0 tuples"),
+	}
+	uses := AnalyzeFragments(events)
+	// Equal BusyNS: node ascending, then name ascending.
+	want := []struct {
+		node int
+		name string
+	}{{1, "a"}, {1, "b"}, {2, "b"}}
+	for i, w := range want {
+		if uses[i].Node != w.node || uses[i].Name != w.name {
+			t.Errorf("order[%d] = %s@n%d, want %s@n%d",
+				i, uses[i].Name, uses[i].Node, w.name, w.node)
+		}
+	}
+}

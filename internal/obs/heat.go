@@ -1,0 +1,554 @@
+package obs
+
+// Fragment-granularity heat accounting. A HeatMap holds one FragHeat
+// accumulator per physical fragment — a relation's primary piece on one
+// node, its chained-replica backup, or its auxiliary B+-tree — keyed by
+// the node whose disk stores it (so per-node sums line up with that
+// node's disk counters even when replicas serve reads for a crashed
+// neighbour). The execution layer increments plain int64 fields on the
+// simulation goroutine: no atomics, no allocations, and a nil *FragHeat
+// (heat disabled) makes every increment method a no-op, so disabled runs
+// execute the identical schedule and stay byte-identical.
+//
+// Snapshot reduces the accumulators into canonical-order rows plus
+// concentration indices (top-K share, HHI, Gini over pages read) — the
+// hot-fragment signal the adaptive re-declustering loop (ROADMAP item 3)
+// subscribes to via HotFragments.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// FragKind classifies a fragment's role on the node that stores it.
+type FragKind uint8
+
+const (
+	// FragPrimary is a relation's declustered piece on its home node.
+	FragPrimary FragKind = iota
+	// FragBackup is a chained-declustering replica of a neighbour's piece.
+	FragBackup
+	// FragAux covers the auxiliary secondary-attribute B+-trees (all
+	// attributes of one relation share the accumulator).
+	FragAux
+)
+
+func (k FragKind) String() string {
+	switch k {
+	case FragPrimary:
+		return "primary"
+	case FragBackup:
+		return "backup"
+	case FragAux:
+		return "aux"
+	}
+	return fmt.Sprintf("kind%d", int(k))
+}
+
+// kindRank orders fragment kinds for canonical row order.
+func kindRank(kind string) int {
+	switch kind {
+	case "primary":
+		return 0
+	case "backup":
+		return 1
+	case "aux":
+		return 2
+	}
+	return 3
+}
+
+// FragID identifies a fragment by the node whose disk physically holds it.
+type FragID struct {
+	Relation string
+	Node     int
+	Kind     FragKind
+}
+
+// Label renders the fragment's workload-facing name: the relation, with a
+// ":backup"/":aux" suffix for non-primary kinds.
+func (id FragID) Label() string {
+	if id.Kind == FragPrimary {
+		return id.Relation
+	}
+	return id.Relation + ":" + id.Kind.String()
+}
+
+// FragHeat is one fragment's access accumulator. Fields are incremented
+// by the simulation goroutine through the nil-safe methods below; reading
+// them is only meaningful once the run has finished (or from a telemetry
+// probe, which also runs on the simulation goroutine).
+type FragHeat struct {
+	id FragID
+
+	// Reads counts access-method invocations served from this fragment
+	// (one selection/scan/lookup = one read, regardless of page count).
+	Reads int64
+	// IndexPages / DataPages count pages requested from the buffer pool,
+	// repeats included — the same "logical page accesses" the paper's
+	// cost model charges.
+	IndexPages int64
+	DataPages  int64
+	// Bytes counts result payload attributed to this fragment.
+	Bytes int64
+	// Local counts reads served on the fragment's primary placement;
+	// Remote counts reads rerouted to a replica (degraded mode).
+	Local  int64
+	Remote int64
+	// BufHits / BufMisses split the page requests at the buffer pool; a
+	// miss is exactly one physical disk read, so per-node miss sums match
+	// the node's disk read totals on fault-free runs.
+	BufHits   int64
+	BufMisses int64
+	// QueueWaitNS accumulates disk queue wait (arrival to arm start)
+	// attributed to this fragment's misses.
+	QueueWaitNS int64
+	// SizePages is the fragment's footprint (data + index pages), for
+	// normalizing heat by capacity.
+	SizePages int64
+	// Wait is the per-miss queue-wait distribution in milliseconds.
+	Wait *Histogram
+}
+
+// ID reports the fragment's identity.
+func (h *FragHeat) ID() FragID {
+	if h == nil {
+		return FragID{}
+	}
+	return h.id
+}
+
+// Pages is the total page requests charged so far (0 on nil).
+func (h *FragHeat) Pages() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.IndexPages + h.DataPages
+}
+
+// BufferHit records a page request served from the pool (or piggybacked
+// on an in-flight read). Nil-safe.
+func (h *FragHeat) BufferHit() {
+	if h == nil {
+		return
+	}
+	h.BufHits++
+}
+
+// BufferMiss records a page request that goes to disk. Nil-safe.
+func (h *FragHeat) BufferMiss() {
+	if h == nil {
+		return
+	}
+	h.BufMisses++
+}
+
+// DiskWait attributes one disk request's queue wait (ns of simulated
+// time) to the fragment. Nil-safe.
+func (h *FragHeat) DiskWait(waitNS int64) {
+	if h == nil {
+		return
+	}
+	h.QueueWaitNS += waitNS
+	h.Wait.Observe(float64(waitNS) / 1e6)
+}
+
+// Account records one completed access: the pages it requested, the
+// result bytes it produced, and whether it was served remotely (from a
+// replica rather than the primary placement). Nil-safe.
+func (h *FragHeat) Account(indexPages, dataPages int, bytes int64, remote bool) {
+	if h == nil {
+		return
+	}
+	h.Reads++
+	h.IndexPages += int64(indexPages)
+	h.DataPages += int64(dataPages)
+	h.Bytes += bytes
+	if remote {
+		h.Remote++
+	} else {
+		h.Local++
+	}
+}
+
+// AddSize grows the fragment's recorded footprint (cold path, at machine
+// construction). Nil-safe.
+func (h *FragHeat) AddSize(pages int64) {
+	if h == nil {
+		return
+	}
+	h.SizePages += pages
+}
+
+// reset zeroes the counters (keeping identity, footprint, and the
+// histogram handle) — the warm-up boundary.
+func (h *FragHeat) reset() {
+	h.Reads, h.IndexPages, h.DataPages, h.Bytes = 0, 0, 0, 0
+	h.Local, h.Remote, h.BufHits, h.BufMisses = 0, 0, 0, 0
+	h.QueueWaitNS = 0
+	h.Wait.Reset()
+}
+
+// HeatMap is the per-machine registry of fragment accumulators. A nil
+// *HeatMap is the disabled state: Frag returns nil and every hot-path
+// increment on that nil handle no-ops. Accumulator creation (Frag) is the
+// cold path and takes a lock; increments are lock-free on the simulation
+// goroutine.
+type HeatMap struct {
+	mu    sync.Mutex
+	frags []*FragHeat // creation order (deterministic: machine build order)
+	index map[FragID]*FragHeat
+}
+
+// NewHeatMap builds an empty heat map.
+func NewHeatMap() *HeatMap {
+	return &HeatMap{index: make(map[FragID]*FragHeat)}
+}
+
+// Frag returns the accumulator for (relation, node, kind), creating it on
+// first use. Returns nil on a nil map.
+func (m *HeatMap) Frag(relation string, node int, kind FragKind) *FragHeat {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := FragID{Relation: relation, Node: node, Kind: kind}
+	if h := m.index[id]; h != nil {
+		return h
+	}
+	h := &FragHeat{id: id, Wait: NewHistogram()}
+	m.index[id] = h
+	m.frags = append(m.frags, h)
+	return h
+}
+
+// Frags returns the accumulators in creation order. Nil on a nil map.
+func (m *HeatMap) Frags() []*FragHeat {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*FragHeat, len(m.frags))
+	copy(out, m.frags)
+	return out
+}
+
+// Reset zeroes every accumulator — called at the warm-up boundary so the
+// snapshot covers the measured interval only. Nil-safe.
+func (m *HeatMap) Reset() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, h := range m.frags {
+		h.reset()
+	}
+}
+
+// FragRow is one fragment's reduced counters inside a HeatSnapshot.
+type FragRow struct {
+	Relation    string         `json:"relation"`
+	Kind        string         `json:"kind"`
+	Node        int            `json:"node"`
+	Reads       int64          `json:"reads"`
+	IndexPages  int64          `json:"index_pages"`
+	DataPages   int64          `json:"data_pages"`
+	Bytes       int64          `json:"bytes"`
+	Local       int64          `json:"local"`
+	Remote      int64          `json:"remote"`
+	BufHits     int64          `json:"buf_hits"`
+	BufMisses   int64          `json:"buf_misses"`
+	QueueWaitMS float64        `json:"queue_wait_ms"`
+	SizePages   int64          `json:"size_pages"`
+	WaitStats   HistogramStats `json:"wait_ms"`
+	// Wait is the live queue-wait histogram behind WaitStats, retained so
+	// in-process reducers can Merge rows across harness jobs. Not
+	// serialized: archives carry WaitStats.
+	Wait *Histogram `json:"-"`
+}
+
+// Pages is the row's total page requests.
+func (r FragRow) Pages() int64 { return r.IndexPages + r.DataPages }
+
+// Label renders the row's fragment name (relation plus kind suffix).
+func (r FragRow) Label() string {
+	if r.Kind == FragPrimary.String() || r.Kind == "" {
+		return r.Relation
+	}
+	return r.Relation + ":" + r.Kind
+}
+
+// HeatSnapshot is a reduced, canonically ordered copy of a HeatMap —
+// rows sorted by (relation, kind, node) — plus concentration indices over
+// the page-read distribution: TopKShare is the fraction of all page reads
+// absorbed by the TopK hottest fragments, HHI is the Herfindahl–Hirschman
+// index (sum of squared shares: 1/n when perfectly balanced over n
+// fragments, 1 when one fragment takes everything), and Gini is the Gini
+// coefficient of the same distribution (0 balanced, →1 concentrated).
+type HeatSnapshot struct {
+	TopK       int       `json:"top_k"`
+	TotalPages int64     `json:"total_pages"`
+	TopKShare  float64   `json:"top_k_share"`
+	HHI        float64   `json:"hhi"`
+	Gini       float64   `json:"gini"`
+	Rows       []FragRow `json:"rows"`
+}
+
+// DefaultHeatTopK bounds hot-fragment reports when no K is given.
+const DefaultHeatTopK = 5
+
+// Snapshot reduces the map into canonical rows and concentration indices.
+// topK bounds the HotFragments report (non-positive = DefaultHeatTopK).
+// Returns nil on a nil map.
+func (m *HeatMap) Snapshot(topK int) *HeatSnapshot {
+	if m == nil {
+		return nil
+	}
+	if topK <= 0 {
+		topK = DefaultHeatTopK
+	}
+	m.mu.Lock()
+	frags := make([]*FragHeat, len(m.frags))
+	copy(frags, m.frags)
+	m.mu.Unlock()
+	s := &HeatSnapshot{TopK: topK, Rows: make([]FragRow, 0, len(frags))}
+	for _, h := range frags {
+		s.Rows = append(s.Rows, FragRow{
+			Relation:    h.id.Relation,
+			Kind:        h.id.Kind.String(),
+			Node:        h.id.Node,
+			Reads:       h.Reads,
+			IndexPages:  h.IndexPages,
+			DataPages:   h.DataPages,
+			Bytes:       h.Bytes,
+			Local:       h.Local,
+			Remote:      h.Remote,
+			BufHits:     h.BufHits,
+			BufMisses:   h.BufMisses,
+			QueueWaitMS: float64(h.QueueWaitNS) / 1e6,
+			SizePages:   h.SizePages,
+			WaitStats:   h.Wait.Stats(),
+			Wait:        h.Wait,
+		})
+	}
+	sortFragRows(s.Rows)
+	s.recompute()
+	return s
+}
+
+// sortFragRows orders rows canonically: relation, kind (primary, backup,
+// aux), node.
+func sortFragRows(rows []FragRow) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.Relation != b.Relation {
+			return a.Relation < b.Relation
+		}
+		if ra, rb := kindRank(a.Kind), kindRank(b.Kind); ra != rb {
+			return ra < rb
+		}
+		return a.Node < b.Node
+	})
+}
+
+// recompute refreshes TotalPages and the concentration indices from Rows.
+func (s *HeatSnapshot) recompute() {
+	s.TotalPages, s.TopKShare, s.HHI, s.Gini = 0, 0, 0, 0
+	if len(s.Rows) == 0 {
+		return
+	}
+	pages := make([]float64, len(s.Rows))
+	var total float64
+	for i, r := range s.Rows {
+		pages[i] = float64(r.Pages())
+		total += pages[i]
+		s.TotalPages += r.Pages()
+	}
+	if total == 0 {
+		return
+	}
+	// Shares descending for the top-K sum; ascending view for Gini.
+	sort.Sort(sort.Reverse(sort.Float64Slice(pages)))
+	k := s.TopK
+	if k > len(pages) {
+		k = len(pages)
+	}
+	var topk float64
+	for _, p := range pages[:k] {
+		topk += p
+	}
+	s.TopKShare = topk / total
+	for _, p := range pages {
+		share := p / total
+		s.HHI += share * share
+	}
+	n := float64(len(pages))
+	var gini float64
+	for i, p := range pages { // descending: weight (n-i)-th ascending rank
+		rank := n - float64(i) // ascending 1-based rank of this value
+		gini += (2*rank - n - 1) * p
+	}
+	s.Gini = gini / (n * total)
+}
+
+// HotFragment is one entry of the hot-fragment report: the detector feed
+// a migration loop subscribes to.
+type HotFragment struct {
+	Relation string  `json:"relation"`
+	Kind     string  `json:"kind"`
+	Node     int     `json:"node"`
+	Reads    int64   `json:"reads"`
+	Pages    int64   `json:"pages"`
+	Share    float64 `json:"share"` // fraction of all page reads
+}
+
+// HotFragments ranks the snapshot's fragments by pages read (ties broken
+// by canonical row order) and returns the TopK hottest that saw any
+// traffic. Nil on a nil snapshot.
+func (s *HeatSnapshot) HotFragments() []HotFragment {
+	if s == nil || s.TotalPages == 0 {
+		return nil
+	}
+	order := make([]int, len(s.Rows))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return s.Rows[order[i]].Pages() > s.Rows[order[j]].Pages()
+	})
+	k := s.TopK
+	if k <= 0 {
+		k = DefaultHeatTopK
+	}
+	out := make([]HotFragment, 0, k)
+	for _, idx := range order {
+		if len(out) == k {
+			break
+		}
+		r := s.Rows[idx]
+		if r.Pages() == 0 {
+			break
+		}
+		out = append(out, HotFragment{
+			Relation: r.Relation,
+			Kind:     r.Kind,
+			Node:     r.Node,
+			Reads:    r.Reads,
+			Pages:    r.Pages(),
+			Share:    float64(r.Pages()) / float64(s.TotalPages),
+		})
+	}
+	return out
+}
+
+// MergeHeatSnapshots reduces snapshots (e.g. one per MPL point from
+// parallel harness jobs) into one: rows with the same (relation, kind,
+// node) sum their counters, queue-wait histograms merge bucket-wise via
+// Histogram.Merge (rows without a live histogram contribute counters
+// only), and the concentration indices are recomputed over the merged
+// rows. Inputs are not modified; nil snapshots are skipped. Returns nil
+// when nothing merges.
+func MergeHeatSnapshots(snaps []*HeatSnapshot, topK int) *HeatSnapshot {
+	if topK <= 0 {
+		topK = DefaultHeatTopK
+	}
+	type key struct {
+		rel  string
+		kind string
+		node int
+	}
+	index := make(map[key]*FragRow)
+	var rows []*FragRow
+	any := false
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		any = true
+		for i := range s.Rows {
+			src := &s.Rows[i]
+			k := key{src.Relation, src.Kind, src.Node}
+			dst := index[k]
+			if dst == nil {
+				dst = &FragRow{
+					Relation:  src.Relation,
+					Kind:      src.Kind,
+					Node:      src.Node,
+					SizePages: src.SizePages,
+					Wait:      NewHistogram(),
+				}
+				index[k] = dst
+				rows = append(rows, dst)
+			}
+			dst.Reads += src.Reads
+			dst.IndexPages += src.IndexPages
+			dst.DataPages += src.DataPages
+			dst.Bytes += src.Bytes
+			dst.Local += src.Local
+			dst.Remote += src.Remote
+			dst.BufHits += src.BufHits
+			dst.BufMisses += src.BufMisses
+			dst.QueueWaitMS += src.QueueWaitMS
+			if src.SizePages > dst.SizePages {
+				dst.SizePages = src.SizePages
+			}
+			dst.Wait.Merge(src.Wait)
+		}
+	}
+	if !any {
+		return nil
+	}
+	out := &HeatSnapshot{TopK: topK, Rows: make([]FragRow, len(rows))}
+	for i, r := range rows {
+		r.WaitStats = r.Wait.Stats()
+		out.Rows[i] = *r
+	}
+	sortFragRows(out.Rows)
+	out.recompute()
+	return out
+}
+
+// WriteHeatCSV renders the snapshot as one CSV table in canonical row
+// order. Floats print in Go's shortest-round-trip format, so equal
+// snapshots produce byte-identical files regardless of worker count.
+// No-op on nil.
+func WriteHeatCSV(w io.Writer, s *HeatSnapshot) error {
+	if s == nil {
+		return nil
+	}
+	if _, err := io.WriteString(w, "relation,kind,node,reads,index_pages,data_pages,bytes,local,remote,buf_hits,buf_misses,queue_wait_ms,wait_p50_ms,wait_p99_ms,size_pages\n"); err != nil {
+		return err
+	}
+	var b []byte
+	for _, r := range s.Rows {
+		b = b[:0]
+		b = append(b, r.Relation...)
+		b = append(b, ',')
+		b = append(b, r.Kind...)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(r.Node), 10)
+		for _, v := range []int64{r.Reads, r.IndexPages, r.DataPages, r.Bytes, r.Local, r.Remote, r.BufHits, r.BufMisses} {
+			b = append(b, ',')
+			b = strconv.AppendInt(b, v, 10)
+		}
+		b = append(b, ',')
+		b = strconv.AppendFloat(b, r.QueueWaitMS, 'g', -1, 64)
+		b = append(b, ',')
+		b = strconv.AppendFloat(b, r.WaitStats.P50, 'g', -1, 64)
+		b = append(b, ',')
+		b = strconv.AppendFloat(b, r.WaitStats.P99, 'g', -1, 64)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, r.SizePages, 10)
+		b = append(b, '\n')
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}

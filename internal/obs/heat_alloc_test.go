@@ -1,0 +1,40 @@
+//go:build !race
+
+// Allocation-regression guards for the fragment-heat accounting hot path.
+// Heat increments run on the simulation goroutine for every page access of
+// a heat-armed run, so any allocation here scales with total page traffic.
+// Excluded under -race because race instrumentation itself allocates.
+
+package obs
+
+import "testing"
+
+// The armed path: counter increments, queue-wait attribution into a warmed
+// histogram bucket, and the per-read Account must all allocate nothing.
+func TestFragHeatAccountingAllocs(t *testing.T) {
+	m := NewHeatMap()
+	h := m.Frag("r", 0, FragPrimary)
+	h.DiskWait(1e6) // warm the 1ms bucket so steady state never grows the map
+	if n := testing.AllocsPerRun(100, func() {
+		h.BufferHit()
+		h.BufferMiss()
+		h.DiskWait(1e6)
+		h.Account(2, 1, 512, false)
+	}); n != 0 {
+		t.Errorf("armed heat accounting allocates %.1f/op, want 0", n)
+	}
+}
+
+// The disabled path: the same calls on a nil handle (heat off) must also
+// stay allocation-free — this is the zero-cost-when-off contract.
+func TestFragHeatNilAllocs(t *testing.T) {
+	var h *FragHeat
+	if n := testing.AllocsPerRun(100, func() {
+		h.BufferHit()
+		h.BufferMiss()
+		h.DiskWait(1e6)
+		h.Account(2, 1, 512, false)
+	}); n != 0 {
+		t.Errorf("nil heat accounting allocates %.1f/op, want 0", n)
+	}
+}

@@ -1,0 +1,278 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFragHeatNilSafe(t *testing.T) {
+	var h *FragHeat
+	h.BufferHit()
+	h.BufferMiss()
+	h.DiskWait(1e6)
+	h.Account(1, 2, 3, true)
+	h.AddSize(4)
+	if h.Pages() != 0 || h.ID() != (FragID{}) {
+		t.Error("nil FragHeat leaked state")
+	}
+
+	var m *HeatMap
+	if m.Frag("r", 0, FragPrimary) != nil {
+		t.Error("nil HeatMap.Frag should return nil")
+	}
+	if m.Frags() != nil || m.Snapshot(5) != nil {
+		t.Error("nil HeatMap leaked state")
+	}
+	m.Reset()
+}
+
+func TestFragIDLabel(t *testing.T) {
+	cases := map[FragID]string{
+		{Relation: "tenk", Kind: FragPrimary}: "tenk",
+		{Relation: "tenk", Kind: FragBackup}:  "tenk:backup",
+		{Relation: "tenk", Kind: FragAux}:     "tenk:aux",
+	}
+	for id, want := range cases {
+		if got := id.Label(); got != want {
+			t.Errorf("Label(%v) = %q, want %q", id, got, want)
+		}
+	}
+}
+
+func TestHeatMapAccounting(t *testing.T) {
+	m := NewHeatMap()
+	h := m.Frag("tenk", 3, FragPrimary)
+	if h2 := m.Frag("tenk", 3, FragPrimary); h2 != h {
+		t.Fatal("Frag not idempotent for the same id")
+	}
+	h.AddSize(24)
+	h.BufferHit()
+	h.BufferHit()
+	h.BufferMiss()
+	h.DiskWait(2e6) // 2ms
+	h.Account(2, 1, 512, false)
+	h.Account(0, 1, 256, true)
+
+	b := m.Frag("tenk", 1, FragBackup)
+	b.Account(1, 0, 0, true)
+
+	s := m.Snapshot(5)
+	if len(s.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(s.Rows))
+	}
+	// Canonical order: primary before backup regardless of node.
+	r := s.Rows[0]
+	if r.Kind != "primary" || r.Node != 3 {
+		t.Fatalf("row 0 = %s@%d, want primary@3", r.Kind, r.Node)
+	}
+	if r.Reads != 2 || r.IndexPages != 2 || r.DataPages != 2 || r.Bytes != 768 {
+		t.Errorf("counters = %+v", r)
+	}
+	if r.Local != 1 || r.Remote != 1 {
+		t.Errorf("local/remote = %d/%d, want 1/1", r.Local, r.Remote)
+	}
+	if r.BufHits != 2 || r.BufMisses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 2/1", r.BufHits, r.BufMisses)
+	}
+	if r.QueueWaitMS != 2 {
+		t.Errorf("QueueWaitMS = %g, want 2", r.QueueWaitMS)
+	}
+	if r.SizePages != 24 {
+		t.Errorf("SizePages = %d, want 24", r.SizePages)
+	}
+	if r.WaitStats.N != 1 {
+		t.Errorf("WaitStats.N = %d, want 1", r.WaitStats.N)
+	}
+	if s.Rows[1].Kind != "backup" {
+		t.Errorf("row 1 kind = %s, want backup", s.Rows[1].Kind)
+	}
+}
+
+func TestHeatMapReset(t *testing.T) {
+	m := NewHeatMap()
+	h := m.Frag("r", 0, FragPrimary)
+	h.AddSize(10)
+	h.Account(1, 1, 100, false)
+	h.BufferMiss()
+	h.DiskWait(1e6)
+	m.Reset()
+	s := m.Snapshot(5)
+	r := s.Rows[0]
+	if r.Reads != 0 || r.Pages() != 0 || r.BufMisses != 0 || r.QueueWaitMS != 0 || r.WaitStats.N != 0 {
+		t.Errorf("counters survived Reset: %+v", r)
+	}
+	if r.SizePages != 10 {
+		t.Errorf("SizePages = %d, want footprint retained across Reset", r.SizePages)
+	}
+}
+
+// snapPages builds a snapshot whose fragments read the given page counts.
+func snapPages(topK int, pages ...int64) *HeatSnapshot {
+	m := NewHeatMap()
+	for i, p := range pages {
+		m.Frag("r", i, FragPrimary).Account(int(p), 0, 0, false)
+	}
+	return m.Snapshot(topK)
+}
+
+func TestHeatSnapshotIndices(t *testing.T) {
+	// Two fragments, shares 0.75/0.25: HHI = 0.625, Gini = 0.25.
+	s := snapPages(1, 3, 1)
+	if s.TotalPages != 4 {
+		t.Fatalf("TotalPages = %d, want 4", s.TotalPages)
+	}
+	if got := s.TopKShare; got != 0.75 {
+		t.Errorf("TopKShare = %g, want 0.75", got)
+	}
+	if got := s.HHI; got != 0.625 {
+		t.Errorf("HHI = %g, want 0.625", got)
+	}
+	if got := s.Gini; got != 0.25 {
+		t.Errorf("Gini = %g, want 0.25", got)
+	}
+}
+
+func TestHeatSnapshotIndicesUniform(t *testing.T) {
+	// Four equal fragments: HHI = 1/4, Gini = 0, top-2 share = 1/2.
+	s := snapPages(2, 7, 7, 7, 7)
+	if s.HHI != 0.25 {
+		t.Errorf("HHI = %g, want 0.25", s.HHI)
+	}
+	if s.Gini != 0 {
+		t.Errorf("Gini = %g, want 0", s.Gini)
+	}
+	if s.TopKShare != 0.5 {
+		t.Errorf("TopKShare = %g, want 0.5", s.TopKShare)
+	}
+}
+
+func TestHeatSnapshotEmpty(t *testing.T) {
+	s := NewHeatMap().Snapshot(5)
+	if s == nil || len(s.Rows) != 0 || s.HHI != 0 || s.Gini != 0 {
+		t.Errorf("empty snapshot = %+v", s)
+	}
+	if s.HotFragments() != nil {
+		t.Error("empty snapshot should have no hot fragments")
+	}
+}
+
+func TestHotFragments(t *testing.T) {
+	s := snapPages(2, 1, 5, 0, 3)
+	hot := s.HotFragments()
+	if len(hot) != 2 {
+		t.Fatalf("len = %d, want 2 (topK cap)", len(hot))
+	}
+	if hot[0].Node != 1 || hot[0].Pages != 5 || hot[1].Node != 3 || hot[1].Pages != 3 {
+		t.Errorf("ranking = %+v", hot)
+	}
+	if hot[0].Share != 5.0/9 {
+		t.Errorf("share = %g, want %g", hot[0].Share, 5.0/9)
+	}
+	// Zero-page fragments never appear even under a generous K.
+	if hot := snapPages(10, 2, 0).HotFragments(); len(hot) != 1 {
+		t.Errorf("zero-page fragment reported: %+v", hot)
+	}
+	var nilSnap *HeatSnapshot
+	if nilSnap.HotFragments() != nil {
+		t.Error("nil snapshot should have no hot fragments")
+	}
+}
+
+func TestMergeHeatSnapshots(t *testing.T) {
+	m1 := NewHeatMap()
+	h1 := m1.Frag("r", 0, FragPrimary)
+	h1.AddSize(24)
+	h1.Account(2, 1, 100, false)
+	h1.BufferMiss()
+	h1.DiskWait(1e6)
+	m1.Frag("r", 1, FragPrimary).Account(1, 0, 50, true)
+
+	m2 := NewHeatMap()
+	h2 := m2.Frag("r", 0, FragPrimary)
+	h2.AddSize(24)
+	h2.Account(1, 1, 10, true)
+	h2.BufferHit()
+	h2.DiskWait(3e6)
+
+	merged := MergeHeatSnapshots([]*HeatSnapshot{m1.Snapshot(5), nil, m2.Snapshot(5)}, 5)
+	if len(merged.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(merged.Rows))
+	}
+	r := merged.Rows[0]
+	if r.Node != 0 || r.Reads != 2 || r.IndexPages != 3 || r.DataPages != 2 || r.Bytes != 110 {
+		t.Errorf("merged counters = %+v", r)
+	}
+	if r.Local != 1 || r.Remote != 1 || r.BufHits != 1 || r.BufMisses != 1 {
+		t.Errorf("merged locality/buffer = %+v", r)
+	}
+	if r.QueueWaitMS != 4 {
+		t.Errorf("QueueWaitMS = %g, want 4", r.QueueWaitMS)
+	}
+	if r.SizePages != 24 {
+		t.Errorf("SizePages = %d, want max not sum", r.SizePages)
+	}
+	// The wait histograms merged bucket-wise: both observations survive.
+	if r.WaitStats.N != 2 || r.WaitStats.Min != 1 || r.WaitStats.Max != 3 {
+		t.Errorf("merged WaitStats = %+v", r.WaitStats)
+	}
+	if merged.TotalPages != 6 {
+		t.Errorf("TotalPages = %d, want 6", merged.TotalPages)
+	}
+
+	if MergeHeatSnapshots(nil, 5) != nil || MergeHeatSnapshots([]*HeatSnapshot{nil, nil}, 5) != nil {
+		t.Error("merging nothing should return nil")
+	}
+}
+
+func TestMergeHeatSnapshotsDoesNotMutateInputs(t *testing.T) {
+	m := NewHeatMap()
+	m.Frag("r", 0, FragPrimary).DiskWait(1e6)
+	s := m.Snapshot(5)
+	MergeHeatSnapshots([]*HeatSnapshot{s, s}, 5)
+	if s.Rows[0].Wait.N() != 1 {
+		t.Errorf("input histogram mutated: N = %d", s.Rows[0].Wait.N())
+	}
+}
+
+func heatCSV(t *testing.T, s *HeatSnapshot) string {
+	t.Helper()
+	var b strings.Builder
+	if err := WriteHeatCSV(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestWriteHeatCSV(t *testing.T) {
+	m := NewHeatMap()
+	h := m.Frag("tenk", 2, FragPrimary)
+	h.AddSize(24)
+	h.Account(2, 1, 512, false)
+	h.BufferMiss()
+	h.DiskWait(2e6)
+	got := heatCSV(t, m.Snapshot(5))
+	want := "relation,kind,node,reads,index_pages,data_pages,bytes,local,remote,buf_hits,buf_misses,queue_wait_ms,wait_p50_ms,wait_p99_ms,size_pages\n" +
+		"tenk,primary,2,1,2,1,512,1,0,0,1,2,2,2,24\n"
+	if got != want {
+		t.Errorf("CSV:\n%s\nwant:\n%s", got, want)
+	}
+	if heatCSV(t, nil) != "" {
+		t.Error("nil snapshot should write nothing")
+	}
+}
+
+func TestWriteHeatCSVMergeOrderInvariant(t *testing.T) {
+	build := func(node int, wait float64) *HeatSnapshot {
+		m := NewHeatMap()
+		h := m.Frag("r", node, FragPrimary)
+		h.Account(3, 2, 77, node == 1)
+		h.DiskWait(int64(wait * 1e6))
+		return m.Snapshot(5)
+	}
+	a, b := build(0, 1.5), build(1, 4.25)
+	ab := heatCSV(t, MergeHeatSnapshots([]*HeatSnapshot{a, b}, 5))
+	ba := heatCSV(t, MergeHeatSnapshots([]*HeatSnapshot{b, a}, 5))
+	if ab != ba {
+		t.Errorf("merge order changed the CSV:\n%s\nvs:\n%s", ab, ba)
+	}
+}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Registrations and unregistrations race against in-flight scrapes in
+// production: the campaign registers each point's sampler as its job
+// completes while CI polls /metrics. This test drives all three
+// concurrently and is meant to run under -race; the assertions themselves
+// only require that every scrape stays well-formed.
+func TestHubConcurrentRegisterScrape(t *testing.T) {
+	h := NewHub()
+	const workers, iters = 4, 50
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := string(rune('a' + w))
+			for i := 0; i < iters; i++ {
+				h.Register(id, hubSampler(float64(i)))
+				if i%3 == 2 {
+					h.Unregister(id)
+				}
+			}
+		}(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+				body := rec.Body.String()
+				if !strings.Contains(body, "declusterbench_up 1\n") ||
+					!strings.HasSuffix(body, "# EOF\n") {
+					t.Errorf("malformed scrape:\n%s", body)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := h.Scrapes(); got != workers*iters {
+		t.Errorf("Scrapes = %d, want %d", got, workers*iters)
+	}
+}

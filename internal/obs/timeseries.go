@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"hash/fnv"
 	"io"
 	"sort"
 	"strconv"
@@ -54,17 +55,19 @@ type SeriesData struct {
 	Kind     string        `json:"kind"`
 	WindowNS int64         `json:"window_ns"`
 	Dropped  int64         `json:"dropped,omitempty"`
+	Labels   string        `json:"labels,omitempty"`
 	Points   []SeriesPoint `json:"points"`
 }
 
 // series is one registered probe plus its ring of sampled values, aligned
 // with the sampler's shared timestamp ring.
 type series struct {
-	name  string
-	kind  SeriesKind
-	probe Probe
-	prev  float64 // last raw reading (SeriesRate)
-	vals  []float64
+	name   string
+	labels string // pre-rendered OpenMetrics label list, without braces
+	kind   SeriesKind
+	probe  Probe
+	prev   float64 // last raw reading (SeriesRate)
+	vals   []float64
 }
 
 // Sampler scrapes registered probes at sim-time window boundaries into
@@ -131,6 +134,15 @@ func (s *Sampler) WindowNS() int64 {
 // construction (cold path); duplicate names panic — two components
 // claiming one series is a wiring bug. No-op on a nil sampler.
 func (s *Sampler) Register(name string, kind SeriesKind, probe Probe) {
+	s.RegisterLabeled(name, "", kind, probe)
+}
+
+// RegisterLabeled is Register with a pre-rendered OpenMetrics label list
+// (without braces, e.g. `fragment="TENK",node="3"`) attached to the
+// series: WriteOpenMetrics merges it with the scrape-level labels, and
+// Snapshot carries it so exporters can reconstruct dimensioned series.
+// No-op on a nil sampler.
+func (s *Sampler) RegisterLabeled(name, labels string, kind SeriesKind, probe Probe) {
 	if s == nil {
 		return
 	}
@@ -139,7 +151,7 @@ func (s *Sampler) Register(name string, kind SeriesKind, probe Probe) {
 	if _, dup := s.index[name]; dup {
 		panic(fmt.Sprintf("obs: duplicate series %q", name))
 	}
-	sr := &series{name: name, kind: kind, probe: probe, vals: make([]float64, s.capacity)}
+	sr := &series{name: name, labels: labels, kind: kind, probe: probe, vals: make([]float64, s.capacity)}
 	if kind == SeriesRate {
 		sr.prev = probe()
 	}
@@ -233,6 +245,7 @@ func (s *Sampler) Snapshot() []SeriesData {
 			Kind:     sr.kind.String(),
 			WindowNS: s.windowNS,
 			Dropped:  s.dropped,
+			Labels:   sr.labels,
 			Points:   make([]SeriesPoint, s.count),
 		}
 		for i := 0; i < s.count; i++ {
@@ -303,16 +316,29 @@ func (s *Sampler) WriteOpenMetrics(w io.Writer, labels string) error {
 	if s == nil {
 		return nil
 	}
-	for _, sd := range s.Snapshot() {
+	snap := s.Snapshot()
+	names := make([]string, len(snap))
+	for i := range snap {
+		names[i] = snap[i].Name
+	}
+	sane := SanitizeMetricNames(names)
+	for i, sd := range snap {
 		if len(sd.Points) == 0 {
 			continue
 		}
-		name := SanitizeMetricName(sd.Name)
+		name := sane[i]
+		all := labels
+		if sd.Labels != "" {
+			if all != "" {
+				all += ","
+			}
+			all += sd.Labels
+		}
 		last := sd.Points[len(sd.Points)-1]
 		var err error
-		if labels != "" {
+		if all != "" {
 			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s{%s} %s\n",
-				name, name, labels, strconv.FormatFloat(last.V, 'g', -1, 64))
+				name, name, all, strconv.FormatFloat(last.V, 'g', -1, 64))
 		} else {
 			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n",
 				name, name, strconv.FormatFloat(last.V, 'g', -1, 64))
@@ -324,9 +350,44 @@ func (s *Sampler) WriteOpenMetrics(w io.Writer, labels string) error {
 	return nil
 }
 
+// SanitizeMetricNames sanitizes a set of series names together,
+// deterministically disambiguating collisions: the lossy per-name mapping
+// can fold two distinct names (e.g. "a.b" and "a,b") onto one OpenMetrics
+// name, and when that happens within a set every colliding name gains a
+// "_<fnv32a(original) hex>" suffix. Non-colliding names come out exactly
+// as SanitizeMetricName produces them, so stable scrape contracts (e.g.
+// serve_goodput_qps) never change. The result is positionally aligned
+// with names.
+func SanitizeMetricNames(names []string) []string {
+	sane := make([]string, len(names))
+	firstOriginal := make(map[string]string, len(names))
+	collides := make(map[string]bool)
+	for i, n := range names {
+		s := SanitizeMetricName(n)
+		sane[i] = s
+		if prev, seen := firstOriginal[s]; seen {
+			if prev != n {
+				collides[s] = true
+			}
+		} else {
+			firstOriginal[s] = n
+		}
+	}
+	for i, n := range names {
+		if collides[sane[i]] {
+			h := fnv.New32a()
+			io.WriteString(h, n)
+			sane[i] = fmt.Sprintf("%s_%08x", sane[i], h.Sum32())
+		}
+	}
+	return sane
+}
+
 // SanitizeMetricName maps a series name onto the OpenMetrics name charset:
 // runs of characters outside [a-zA-Z0-9_:] become single underscores, and
-// a leading digit gains one.
+// a leading digit gains one. The mapping is lossy — use
+// SanitizeMetricNames when rendering a whole set, which disambiguates
+// collisions deterministically.
 func SanitizeMetricName(name string) string {
 	ok := func(c byte) bool {
 		return c == '_' || c == ':' ||

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSanitizeMetricNamesCollision(t *testing.T) {
+	names := []string{"a.b", "a,b", "serve.goodput_qps"}
+	sane := SanitizeMetricNames(names)
+	// Both colliding names are disambiguated, deterministically and
+	// distinctly; the non-colliding name keeps its plain sanitized form —
+	// the scrape contract CI greps must never shift.
+	if sane[0] == sane[1] {
+		t.Errorf("collision survived: %q vs %q", sane[0], sane[1])
+	}
+	for i := 0; i < 2; i++ {
+		if !strings.HasPrefix(sane[i], "a_b_") {
+			t.Errorf("sane[%d] = %q, want a_b_<hash>", i, sane[i])
+		}
+	}
+	if sane[2] != "serve_goodput_qps" {
+		t.Errorf("non-colliding name changed: %q", sane[2])
+	}
+
+	again := SanitizeMetricNames(names)
+	for i := range sane {
+		if sane[i] != again[i] {
+			t.Errorf("not deterministic at %d: %q vs %q", i, sane[i], again[i])
+		}
+	}
+	// The suffix hashes the original name, so the mapping is independent of
+	// set order.
+	rev := SanitizeMetricNames([]string{"a,b", "a.b"})
+	if rev[0] != sane[1] || rev[1] != sane[0] {
+		t.Errorf("order-dependent mapping: %v vs %v", rev, sane[:2])
+	}
+}
+
+func TestSanitizeMetricNamesNoCollision(t *testing.T) {
+	names := []string{"serve.goodput_qps", "node0.disk.util"}
+	sane := SanitizeMetricNames(names)
+	if sane[0] != "serve_goodput_qps" || sane[1] != "node0_disk_util" {
+		t.Errorf("clean set was altered: %v", sane)
+	}
+}
+
+func TestWriteOpenMetricsLabeled(t *testing.T) {
+	s := NewSampler(winNS, 8)
+	s.RegisterLabeled("frag.tenk.node3.heat", `fragment="tenk",node="3"`, SeriesGauge, func() float64 { return 7 })
+	s.Register("plain", SeriesGauge, func() float64 { return 1 })
+	s.Sample(winNS)
+
+	var b strings.Builder
+	if err := s.WriteOpenMetrics(&b, `run="r1"`); err != nil {
+		t.Fatal(err)
+	}
+	body := b.String()
+	// Scrape labels come first, then the series' own label list.
+	if !strings.Contains(body, `frag_tenk_node3_heat{run="r1",fragment="tenk",node="3"} 7`) {
+		t.Errorf("labeled series missing:\n%s", body)
+	}
+	if !strings.Contains(body, `plain{run="r1"} 1`) {
+		t.Errorf("unlabeled series mis-rendered:\n%s", body)
+	}
+
+	// Without scrape labels the series labels stand alone.
+	var solo strings.Builder
+	if err := s.WriteOpenMetrics(&solo, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(solo.String(), `frag_tenk_node3_heat{fragment="tenk",node="3"} 7`) {
+		t.Errorf("series labels dropped without scrape labels:\n%s", solo.String())
+	}
+}
+
+func TestWriteOpenMetricsCollidingNames(t *testing.T) {
+	// Distinct raw names that sanitize to the same OpenMetrics name must
+	// surface as distinct families in the exposition.
+	s := NewSampler(winNS, 8)
+	s.Register("x.y", SeriesGauge, func() float64 { return 1 })
+	s.Register("x,y", SeriesGauge, func() float64 { return 2 })
+	s.Sample(winNS)
+	var b strings.Builder
+	if err := s.WriteOpenMetrics(&b, ""); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	names := map[string]bool{}
+	for _, l := range lines {
+		if strings.HasPrefix(l, "# TYPE ") {
+			names[strings.Fields(l)[2]] = true
+		}
+	}
+	if len(names) != 2 {
+		t.Errorf("colliding series folded in exposition:\n%s", b.String())
+	}
+}

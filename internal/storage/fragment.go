@@ -63,6 +63,10 @@ type Access struct {
 	Tuples     []Tuple
 }
 
+// PageCount is the total pages this access touches as the buffer pool
+// sees them — index plus data, repeats included.
+func (a Access) PageCount() int { return len(a.IndexPages) + len(a.DataPages) }
+
 // Index is one B+-tree over a fragment's attribute.
 type Index struct {
 	Attr      int
@@ -151,6 +155,16 @@ func (f *Fragment) NumTuples() int { return len(f.Tuples) }
 
 // NumDataPages reports the number of data pages.
 func (f *Fragment) NumDataPages() int { return f.dataPages }
+
+// FootprintPages is the fragment's on-disk footprint: data pages plus
+// every index's tree pages. Used to normalize fragment heat by capacity.
+func (f *Fragment) FootprintPages() int {
+	pages := f.dataPages
+	for _, ix := range f.indexes {
+		pages += ix.Tree.Pages()
+	}
+	return pages
+}
 
 // DataPageOfSlot maps a slot to its physical page.
 func (f *Fragment) DataPageOfSlot(slot int) int {
@@ -250,6 +264,10 @@ type AuxFragment struct {
 	Tree    *btree.Tree
 	Entries int
 }
+
+// FootprintPages is the auxiliary fragment's on-disk footprint (the tree
+// is the whole structure).
+func (a *AuxFragment) FootprintPages() int { return a.Tree.Pages() }
 
 // AuxEntry is one auxiliary tuple before partitioning.
 type AuxEntry struct {
