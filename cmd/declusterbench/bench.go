@@ -14,13 +14,16 @@ import (
 	"os"
 	"testing"
 
+	"repro/internal/buffer"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/harness"
+	"repro/internal/hw"
 	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/serve"
 	"repro/internal/sim"
+	"repro/internal/storage"
 )
 
 // BenchResult is one benchmark's archived measurement.
@@ -63,6 +66,7 @@ func kernelBenchmarks() []struct {
 		{"SpanDisabled", benchSpanDisabled},
 		{"SamplerSample", benchSamplerSample},
 		{"HeatSample", benchHeatSample},
+		{"SharedScanBatch", benchSharedScanBatch},
 		{"OpenArrivals", benchOpenArrivals},
 		{"OpenArrivalsSampled", benchOpenArrivalsSampled},
 	}
@@ -212,6 +216,71 @@ func benchHeatSample(b *testing.B) {
 		h.BufferMiss()
 		h.DiskWait(int64(sim.Millisecond))
 		h.Account(2, 1, 512, i&1 == 1)
+	}
+}
+
+// benchSharedScanBatch measures one full shared-scan cycle on a two-node
+// exec machine: 8 concurrent identical selections enqueued on the manager,
+// window-flushed, executed as one deduplicated disk pass, and demultiplexed
+// back to their coordinators. Mirrors internal/exec's
+// BenchmarkSharedScanBatch by name and shape.
+func benchSharedScanBatch(b *testing.B) {
+	eng := sim.New()
+	params := hw.DefaultParams()
+	params.NumProcessors = 2
+	costs := exec.DefaultCosts()
+	streams := rng.NewFactory(5)
+	cpus := make([]*hw.CPU, 3)
+	for i := 0; i < 2; i++ {
+		cpus[i] = hw.NewCPU(eng, "cpu", params)
+	}
+	net := hw.NewNetwork(eng, params, cpus)
+	rel := storage.GenerateWisconsin(storage.GenSpec{Cardinality: 200, Seed: 9})
+	placement := core.NewRangeForRelation(rel, storage.Unique1, 2)
+	layout := storage.Layout{TuplesPerPage: 8, IndexFanout: 8, IndexLeafCap: 8}
+	for i := 0; i < 2; i++ {
+		disk := hw.NewDisk(eng, "disk", params, cpus[i], streams.Stream("lat"))
+		pool := buffer.NewPool(eng, "buf", 16, disk)
+		n := exec.NewNode(eng, i, params, costs, net, cpus[i], disk, pool)
+		var tuples []storage.Tuple
+		for _, tup := range rel.Tuples {
+			if placement.HomeOf(tup) == i {
+				tuples = append(tuples, tup)
+			}
+		}
+		alloc := storage.NewAllocator(10000)
+		frag := storage.BuildFragment(i, tuples, storage.Unique2, layout, alloc)
+		frag.AddIndex(storage.Unique2, alloc)
+		frag.AddIndex(storage.Unique1, alloc)
+		n.AddFragment(rel.Name, frag)
+		n.Start()
+	}
+	host := exec.NewHost(eng, 2, params, net, costs)
+	host.AddRelation(rel.Name, placement)
+	host.Start()
+	host.EnableSharing(2 * sim.Millisecond)
+	pred := core.Predicate{Attr: storage.Unique2, Lo: 40, Hi: 79}
+	chooser := func(core.Predicate) exec.AccessKind { return exec.AccessClustered }
+	eng.Spawn("bench", func(p *sim.Proc) {
+		done := sim.NewMailbox[int](eng, "bench.done")
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < 8; k++ {
+				eng.Spawn("q", func(qp *sim.Proc) {
+					host.Execute(qp, pred, chooser)
+					done.Put(1)
+				})
+			}
+			for k := 0; k < 8; k++ {
+				done.Get(p)
+			}
+		}
+		eng.Stop()
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	horizon := sim.Duration(b.N)*sim.Second + 60*sim.Second
+	if err := eng.RunUntil(sim.Time(horizon)); err != nil {
+		b.Fatal(err)
 	}
 }
 

@@ -68,6 +68,20 @@
 //	                 strategy) into DIR (implies -heatmap)
 //	-heat-topk K     hot-fragment report size (default 5; implies -heatmap)
 //
+// Shared scans (DESIGN.md §12): predicate-grouped batching of concurrent
+// selections into shared disk passes, measured off-vs-on per strategy under
+// a hot-spot overlay:
+//
+//	-share           run the shared-scan campaign instead of the figure
+//	                 campaign (default figure scope: 11a when -fig is not
+//	                 given); prints a per-point off/on table plus greppable
+//	                 "sharing figX/strategy mpl=N: ..." summary lines
+//	-share-window D  batching window in simulated time (default: the gamma
+//	                 default, 5ms)
+//
+// Sharing rides the legacy scheduler, so -share is mutually exclusive with
+// every fault flag and with -open.
+//
 // Fault injection (all fault flags imply chained replicas and the degraded
 // scheduler; see DESIGN.md §8):
 //
@@ -156,6 +170,8 @@ func run() int {
 		heatmap     = flag.Bool("heatmap", false, "arm fragment heat accounting and print per-strategy heatmap tables")
 		heatmapDir  = flag.String("heatmap-dir", "", "write per-strategy fragment heat CSVs into this directory (implies -heatmap)")
 		heatTopK    = flag.Int("heat-topk", 0, "hot-fragment report size (default 5; implies -heatmap)")
+		share       = flag.Bool("share", false, "run the shared-scan campaign (sharing off vs on per strategy)")
+		shareWindow = flag.Duration("share-window", 0, "shared-scan batching window in simulated time (0 = gamma default)")
 		faultsKs    = flag.String("faults", "", `degraded-mode campaign: comma-separated failed-disk counts, e.g. "0,1,2"`)
 		mtbf        = flag.Duration("mtbf", 0, "mean time between stochastic transient disk read errors (0 = off)")
 		killDisk    = flag.String("kill-disk", "", `fail-stop disks: comma-separated "n@t[+d]" items, e.g. "3@10ms" or "0@5ms+200ms"`)
@@ -226,6 +242,15 @@ func run() int {
 		}
 		figs = []experiments.Figure{fig}
 	}
+	// The sharing campaign runs every point twice (off and on); default it
+	// to the Moderate-Low figure, where batch overlap is most visible.
+	if *share && *figList == "" {
+		fig, err := experiments.FigureByID("11a")
+		if err != nil {
+			return fail(err)
+		}
+		figs = []experiments.Figure{fig}
+	}
 	oopts, err := buildOpenOptions(*arrival, *lambdaList, *tenants, *sloMS, *governor)
 	if err != nil {
 		return fail(err)
@@ -235,8 +260,13 @@ func run() int {
 		return fail(err)
 	}
 	if spec.Enabled() {
-		opts.Faults = spec
-		opts.ChainedReplicas = true
+		opts.ArmFaults(spec, true)
+	}
+	if *share && (spec.Enabled() || *faultsKs != "" || *open) {
+		return fail(fmt.Errorf("-share is mutually exclusive with fault flags and -open (sharing rides the legacy scheduler)"))
+	}
+	if *shareWindow < 0 {
+		return fail(fmt.Errorf("negative -share-window %v", *shareWindow))
 	}
 	if *tsWindow < 0 {
 		return fail(fmt.Errorf("negative -ts-window %v", *tsWindow))
@@ -246,14 +276,13 @@ func run() int {
 		if w <= 0 {
 			w = 250 * time.Millisecond
 		}
-		opts.TelemetryWindowMS = float64(w) / float64(time.Millisecond)
+		opts.ArmTelemetry(float64(w)/float64(time.Millisecond), 0, 0)
 	}
 	if *heatTopK < 0 {
 		return fail(fmt.Errorf("negative -heat-topk %d", *heatTopK))
 	}
 	if *heatmap || *heatmapDir != "" || *heatTopK > 0 {
-		opts.Heat = true
-		opts.HeatTopK = *heatTopK
+		opts.ArmHeat(*heatTopK)
 	}
 	var hub *obs.Hub
 	if *metricsAddr != "" {
@@ -369,6 +398,37 @@ func run() int {
 				fmt.Println(dres.Table().String())
 			}
 			fmt.Printf("fault outcomes: %s\n\n", dres.Outcomes())
+		}
+	} else if *share {
+		if len(figs) == 0 {
+			return fail(fmt.Errorf(`-share needs at least one figure (drop "-fig none")`))
+		}
+		windowMS := float64(*shareWindow) / float64(time.Millisecond)
+		for _, fig := range figs {
+			fmt.Fprintf(os.Stderr, "running shared-scan campaign for figure %s on %d workers...\n",
+				fig.ID, workersFor(*parallel))
+			sres, manifest, err := experiments.RunSharing(fig, windowMS, opts, experiments.CampaignOptions{
+				Workers:    *parallel,
+				JobTimeout: *timeout,
+				Progress:   os.Stderr,
+				Label:      "sharing/" + fig.ID,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "declusterbench:", err)
+				exit = 1
+			}
+			manifests = append(manifests, manifest)
+			if *csv {
+				fmt.Print(sres.Table().CSV())
+			} else {
+				fmt.Println(sres.Table().String())
+			}
+			for _, line := range sres.Summary() {
+				fmt.Println(line)
+			}
+			saved, best := sres.MaxSaved()
+			fmt.Printf("sharing best: %.1f%% disk reads saved (%s fig%s MPL %d)\n\n",
+				100*saved, best.Strategy, fig.ID, best.MPL)
 		}
 	} else if len(figs) > 0 {
 		fmt.Fprintf(os.Stderr, "running %d figures on %d workers...\n", len(figs), workersFor(*parallel))

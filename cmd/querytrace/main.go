@@ -40,6 +40,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/gamma"
 	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/workload"
@@ -119,7 +120,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		node := plan.NewIndexScan(rel.Name, pred, mix.AccessChooser()(pred))
 		fmt.Printf("=== %s: %v ===\n", name, pred)
+		fmt.Print(node.Explain())
 		var sinks obs.MultiSink
 		if !*quiet {
 			sinks = append(sinks, obs.SinkFunc(printEvent))
@@ -143,7 +146,7 @@ func main() {
 		}
 		var res exec.QueryResult
 		machine.Eng.Spawn("probe", func(p *sim.Proc) {
-			res = machine.Host.Execute(p, pred, mix.AccessChooser())
+			res = machine.Host.Submit(p, node)
 			machine.Eng.Stop()
 		})
 		if err := machine.Eng.RunUntil(sim.Time(60 * sim.Second)); err != nil {
@@ -155,6 +158,14 @@ func main() {
 			printCritPath(coll.Events())
 		}
 		if *frags {
+			// The result's own attribution — under chain-backup rerouting the
+			// serving node can differ from the fragment's home, and this is
+			// the list the fragment table must agree with.
+			fmt.Println("served by:")
+			for _, op := range res.ServedBy {
+				fmt.Printf("  %s\n", op)
+			}
+			fmt.Println()
 			printFragments(coll.Events())
 		}
 	}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hw"
+	"repro/internal/plan"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -16,31 +17,18 @@ import (
 // partials. COUNT/SUM/MIN/MAX decompose exactly this way; AVG is SUM/COUNT
 // at the coordinator.
 
-// AggKind selects the aggregate function.
-type AggKind int
+// AggKind selects the aggregate function. It is an alias of plan.AggFn:
+// the plan layer owns the aggregate vocabulary.
+type AggKind = plan.AggFn
 
-// Supported aggregates.
+// Supported aggregates, re-exported for the execution layer's historical
+// spelling.
 const (
-	AggCount AggKind = iota
-	AggSum
-	AggMin
-	AggMax
+	AggCount = plan.AggCount
+	AggSum   = plan.AggSum
+	AggMin   = plan.AggMin
+	AggMax   = plan.AggMax
 )
-
-func (k AggKind) String() string {
-	switch k {
-	case AggCount:
-		return "count"
-	case AggSum:
-		return "sum"
-	case AggMin:
-		return "min"
-	case AggMax:
-		return "max"
-	default:
-		return "unknown"
-	}
-}
 
 // AggSpec describes one aggregate query: the function over Attr for the
 // tuples matching Pred (Pred.Attr also drives routing, so a predicate on a

@@ -22,7 +22,7 @@ type rig struct {
 	rel   *storage.Relation
 }
 
-func newRig(t *testing.T, placement core.Placement) *rig {
+func newRig(t testing.TB, placement core.Placement) *rig {
 	t.Helper()
 	eng := sim.New()
 	params := hw.DefaultParams()

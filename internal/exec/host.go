@@ -2,10 +2,12 @@ package exec
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/sim"
 	"sort"
 )
@@ -46,6 +48,31 @@ func (o Outcome) String() string {
 // Succeeded reports whether the query produced its full result.
 func (o Outcome) Succeeded() bool { return o == OutcomeOK || o == OutcomeRetried }
 
+// ServedOp records which node actually served one operator of a query. On
+// the legacy path the serving node is always the fragment's primary home;
+// under degraded-mode execution an operator may be rerouted to the chained
+// backup, and this attribution is what keeps plan explain output and
+// querytrace -frags in agreement.
+type ServedOp struct {
+	Fragment int  // node whose (primary) fragment the operator targeted
+	Node     int  // node that actually served the operator
+	Backup   bool // true when the chained-replica backup served it
+	Aux      bool // BERD auxiliary lookup (step one) rather than a selection
+	Tuples   int  // tuples this operator returned (0 for aux lookups)
+}
+
+func (s ServedOp) String() string {
+	role := "select"
+	if s.Aux {
+		role = "aux"
+	}
+	where := fmt.Sprintf("n%d", s.Node)
+	if s.Backup {
+		where += " (backup)"
+	}
+	return fmt.Sprintf("%s frag@n%d served by %s: %d tuples", role, s.Fragment, where, s.Tuples)
+}
+
 // QueryResult summarizes one executed query.
 type QueryResult struct {
 	ID             int64
@@ -55,6 +82,15 @@ type QueryResult struct {
 	AuxProcessors  int // BERD first-step processors among them
 	Submitted      sim.Time
 	Completed      sim.Time
+
+	// ServedBy attributes each operator to the node that served it, in
+	// completion order. Under chained-replica rerouting the serving node
+	// can differ from the fragment's primary home.
+	ServedBy []ServedOp
+
+	// Value is the aggregate's value for Aggregate-rooted plans submitted
+	// through Submit (zero otherwise).
+	Value int64
 
 	// Degraded-mode accounting (zero values on the legacy path).
 	Outcome Outcome
@@ -98,6 +134,16 @@ type Host struct {
 	// scheduling path, byte-identical to a build without fault support.
 	Degraded *Degraded
 
+	// Shared is the shared-scan manager (nil = sharing off, the default):
+	// when armed via EnableSharing, concurrent selections targeting the
+	// same fragment within the batching window are predicate-grouped into
+	// one disk pass. Mutually exclusive with Degraded.
+	Shared *SharedScans
+
+	// accessPolicy resolves plan.AccessAuto scans per relation (set via
+	// SetAccessPolicy, typically from the workload mix's chooser).
+	accessPolicy map[string]AccessChooser
+
 	nextQID     int64
 	nextAttempt int
 	pending     map[int64]*sim.Mailbox[any]
@@ -124,8 +170,9 @@ func NewHost(eng *sim.Engine, id int, params hw.Params, net *hw.Network, costs C
 	h := &Host{
 		ID: id, net: net, eng: eng,
 		params: params, costs: costs,
-		placements: make(map[string]core.Placement),
-		pending:    make(map[int64]*sim.Mailbox[any]),
+		placements:   make(map[string]core.Placement),
+		accessPolicy: make(map[string]AccessChooser),
+		pending:      make(map[int64]*sim.Mailbox[any]),
 	}
 	if reg := eng.Metrics(); reg != nil {
 		h.completedC = reg.Counter("query.completed")
@@ -198,22 +245,114 @@ func (h *Host) Start() {
 // index on B).
 type AccessChooser func(pred core.Predicate) AccessKind
 
-// Execute runs one query against the default relation. See ExecuteOn.
+// SetAccessPolicy installs the resolver for plan.AccessAuto scans of a
+// relation (typically the workload mix's chooser). Submit panics on an
+// AccessAuto scan of a relation with no policy.
+func (h *Host) SetAccessPolicy(relation string, chooser AccessChooser) {
+	h.accessPolicy[relation] = chooser
+}
+
+// Execute runs one query against the default relation.
+//
+// Deprecated: build a plan with plan.Select and call Submit. Kept for one
+// release as a thin wrapper over the plan API.
 func (h *Host) Execute(p *sim.Proc, pred core.Predicate, access AccessChooser) QueryResult {
 	return h.ExecuteOn(p, h.defaultName, pred, access)
 }
 
-// ExecuteOn runs one query against a named relation to completion from the
-// calling process (a terminal): plan, localize, schedule operators, collect
-// results. It blocks for the query's full lifetime and returns its
-// statistics.
+// ExecuteOn runs one query against a named relation.
+//
+// Deprecated: build a plan with plan.Select and call Submit. Kept for one
+// release as a thin wrapper over the plan API.
 func (h *Host) ExecuteOn(p *sim.Proc, relation string, pred core.Predicate, access AccessChooser) QueryResult {
+	return h.Submit(p, plan.Select(relation, pred, access(pred)))
+}
+
+// fullDomain is the predicate a bare (predicate-free) Scan leaf executes:
+// every tuple of the relation qualifies.
+func fullDomain() core.Predicate {
+	return core.Predicate{Attr: 0, Lo: math.MinInt64, Hi: math.MaxInt64}
+}
+
+// resolveSelection lowers a selection subtree to (relation, predicate,
+// access kind), applying the full-domain predicate to bare scans and the
+// relation's access policy to AccessAuto.
+func (h *Host) resolveSelection(n *plan.Node) (string, core.Predicate, AccessKind) {
+	sel, err := plan.CompileSelection(n)
+	if err != nil {
+		panic(fmt.Sprintf("exec: %v", err))
+	}
+	pred := sel.Pred
+	if !sel.HasPred {
+		pred = fullDomain()
+	}
+	kind := sel.Access
+	if kind == plan.AccessAuto {
+		chooser := h.accessPolicy[sel.Relation]
+		if chooser == nil {
+			panic(fmt.Sprintf("exec: AccessAuto scan of %q but no access policy set", sel.Relation))
+		}
+		kind = chooser(pred)
+	}
+	return sel.Relation, pred, kind
+}
+
+// Submit executes a declarative plan tree to completion from the calling
+// process (a terminal) and returns the query's statistics. Selection trees
+// (Filter chains over a Scan/IndexScan leaf) run through the scheduler's
+// selection path — including shared-scan batching when the manager is
+// armed. A Join root runs the parallel hash join (Tuples reports the match
+// count); an Aggregate root runs the partial-aggregation protocol (Tuples
+// reports matched tuples, Value the aggregate). Invalid or non-executable
+// plans panic: a plan error is a programming error, not a runtime fault.
+func (h *Host) Submit(p *sim.Proc, n *plan.Node) QueryResult {
+	if err := n.Validate(); err != nil {
+		panic(fmt.Sprintf("exec: invalid plan: %v", err))
+	}
+	switch n.Kind {
+	case plan.KindAggregate:
+		relation, pred, kind := h.resolveSelection(n.Inputs[0])
+		agg := h.ExecuteAggregate(p, AggSpec{
+			Relation: relation, Kind: n.Fn, Attr: n.Attr, Pred: pred, Access: kind,
+		})
+		return QueryResult{
+			ID: agg.ID, Pred: pred, Tuples: agg.Tuples, Value: agg.Value,
+			ProcessorsUsed: agg.ProcessorsUsed,
+			Submitted:      agg.Submitted, Completed: agg.Completed,
+		}
+	case plan.KindJoin:
+		buildRel, buildPred, _ := h.resolveSelection(n.Inputs[0])
+		probeRel, probePred, _ := h.resolveSelection(n.Inputs[1])
+		spec := JoinSpec{
+			BuildRelation: buildRel, BuildAttr: n.Attr,
+			ProbeRelation: probeRel, ProbeAttr: n.Attr,
+		}
+		if n.Inputs[0].Kind != plan.KindScan || n.Inputs[0].HasPred {
+			spec.BuildPred = &buildPred
+		}
+		if n.Inputs[1].Kind != plan.KindScan || n.Inputs[1].HasPred {
+			spec.ProbePred = &probePred
+		}
+		jr := h.ExecuteJoin(p, spec)
+		return QueryResult{
+			ID: jr.ID, Tuples: jr.Matches, ProcessorsUsed: jr.ProcessorsUsed,
+			Submitted: jr.Submitted, Completed: jr.Completed,
+		}
+	default:
+		relation, pred, kind := h.resolveSelection(n)
+		return h.submitSelect(p, relation, pred, kind)
+	}
+}
+
+// submitSelect schedules one selection: plan, localize, start (or batch)
+// operators, collect results. It blocks for the query's full lifetime.
+func (h *Host) submitSelect(p *sim.Proc, relation string, pred core.Predicate, kind AccessKind) QueryResult {
 	placement, ok := h.placements[relation]
 	if !ok {
 		panic(fmt.Sprintf("exec: unknown relation %q", relation))
 	}
 	if h.Degraded != nil {
-		return h.executeDegraded(p, relation, placement, pred, access)
+		return h.executeDegraded(p, relation, placement, pred, kind)
 	}
 	h.nextQID++
 	qid := h.nextQID
@@ -253,6 +392,7 @@ func (h *Host) ExecuteOn(p *sim.Proc, relation string, pred core.Predicate, acce
 		tidsByProc = make(map[int][]int64)
 		for i := 0; i < len(route.Aux); i++ {
 			ar := waitFor[auxResult](p, mb)
+			res.ServedBy = append(res.ServedBy, ServedOp{Fragment: ar.Node, Node: ar.Node, Aux: true})
 			for proc, tids := range ar.TIDsByProc {
 				tidsByProc[proc] = append(tidsByProc[proc], tids...)
 			}
@@ -270,11 +410,18 @@ func (h *Host) ExecuteOn(p *sim.Proc, relation string, pred core.Predicate, acce
 		}
 	}
 
-	// Scheduler: start one operator per participant.
+	// Scheduler: start one operator per participant. TID-fetch dispatches
+	// carry per-node TID lists and cannot be predicate-grouped; everything
+	// else is eligible for shared-scan batching when the manager is armed.
 	opSpan := h.eng.StartSpan()
+	share := h.Shared != nil && !(tidsByProc != nil && h.BERDFetchByTID)
 	for _, node := range participants {
 		used[node] = true
-		op := startOp{QueryID: qid, Relation: relation, Pred: pred, ReplyTo: h.ID, Access: access(pred)}
+		if share {
+			h.Shared.enqueue(node, relation, pred, kind, qid)
+			continue
+		}
+		op := startOp{QueryID: qid, Relation: relation, Pred: pred, ReplyTo: h.ID, Access: kind}
 		if tidsByProc != nil && h.BERDFetchByTID {
 			op.Access = AccessTIDFetch
 			op.TIDs = tidsByProc[node]
@@ -287,6 +434,7 @@ func (h *Host) ExecuteOn(p *sim.Proc, relation string, pred core.Predicate, acce
 	for i := 0; i < len(participants); i++ {
 		or := waitFor[opResult](p, mb)
 		res.Tuples += or.Tuples
+		res.ServedBy = append(res.ServedBy, ServedOp{Fragment: or.Node, Node: or.Node, Tuples: or.Tuples})
 	}
 
 	res.ProcessorsUsed = len(used)

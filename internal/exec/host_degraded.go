@@ -255,14 +255,14 @@ func (col *collector) run() (Outcome, error) {
 	return OutcomeOK, nil
 }
 
-// executeDegraded is ExecuteOn's degraded-mode twin: the same plan/route/
+// executeDegraded is submitSelect's degraded-mode twin: the same plan/route/
 // schedule/collect flow, but every wait is deadlined, operator failures and
 // silences are retried with backoff, and requests reroute to chained
 // backups when a replica is down. It trades the legacy path's minimal
 // bookkeeping for fault tolerance, so it only runs when Host.Degraded is
 // set.
 func (h *Host) executeDegraded(p *sim.Proc, relation string, placement core.Placement,
-	pred core.Predicate, access AccessChooser) QueryResult {
+	pred core.Predicate, kind AccessKind) QueryResult {
 	d := h.Degraded
 	h.nextQID++
 	qid := h.nextQID
@@ -316,6 +316,9 @@ func (h *Host) executeDegraded(p *sim.Proc, relation string, placement core.Plac
 			})
 		}
 		col.accept = func(c *call, msg any) {
+			res.ServedBy = append(res.ServedBy, ServedOp{
+				Fragment: c.primary, Node: c.target, Backup: c.target != c.primary, Aux: true,
+			})
 			for proc, tids := range msg.(auxResult).TIDsByProc {
 				tidsByProc[proc] = append(tidsByProc[proc], tids...)
 			}
@@ -336,7 +339,7 @@ func (h *Host) executeDegraded(p *sim.Proc, relation string, placement core.Plac
 	col := newCollector(h, p, mb, deadline, participants, used)
 	col.dispatch = func(c *call) {
 		op := startOp{QueryID: qid, Relation: relation, Pred: pred, ReplyTo: h.ID,
-			Access: access(pred), Attempt: c.attempt, Backup: c.target != c.primary}
+			Access: kind, Attempt: c.attempt, Backup: c.target != c.primary}
 		if tidsByProc != nil && h.BERDFetchByTID {
 			op.Access = AccessTIDFetch
 			op.TIDs = tidsByProc[c.primary]
@@ -346,7 +349,11 @@ func (h *Host) executeDegraded(p *sim.Proc, relation string, placement core.Plac
 		})
 	}
 	col.accept = func(c *call, msg any) {
-		res.Tuples += msg.(opResult).Tuples
+		r := msg.(opResult)
+		res.Tuples += r.Tuples
+		res.ServedBy = append(res.ServedBy, ServedOp{
+			Fragment: c.primary, Node: c.target, Backup: c.target != c.primary, Tuples: r.Tuples,
+		})
 	}
 	outcome, err := col.run()
 	res.Retries += col.retries

@@ -8,33 +8,22 @@ package exec
 
 import (
 	"repro/internal/core"
+	"repro/internal/plan"
 )
 
-// AccessKind selects the access method an operator uses.
-type AccessKind int
+// AccessKind selects the access method an operator uses. It is an alias of
+// plan.Access: the plan layer owns the access-method vocabulary, and the
+// execution layer consumes it unchanged (same values, same strings).
+type AccessKind = plan.Access
 
-// Access methods of the workload (Section 6) plus the fallback scan.
+// Access methods of the workload (Section 6) plus the fallback scan,
+// re-exported for the execution layer's historical spelling.
 const (
-	AccessClustered    AccessKind = iota // clustered B+-tree range scan
-	AccessNonClustered                   // non-clustered B+-tree + tuple fetches
-	AccessTIDFetch                       // direct fetch by TID (BERD step two)
-	AccessSeqScan                        // full sequential scan (no usable index)
+	AccessClustered    = plan.AccessClustered    // clustered B+-tree range scan
+	AccessNonClustered = plan.AccessNonClustered // non-clustered B+-tree + tuple fetches
+	AccessTIDFetch     = plan.AccessTIDFetch     // direct fetch by TID (BERD step two)
+	AccessSeqScan      = plan.AccessSeqScan      // full sequential scan (no usable index)
 )
-
-func (k AccessKind) String() string {
-	switch k {
-	case AccessClustered:
-		return "clustered"
-	case AccessNonClustered:
-		return "non-clustered"
-	case AccessTIDFetch:
-		return "tid-fetch"
-	case AccessSeqScan:
-		return "seq-scan"
-	default:
-		return "unknown"
-	}
-}
 
 // controlBytes is the size of a control message (start, done); the paper's
 // Table 2 prices a 100-byte message.
@@ -99,6 +88,28 @@ type auxResult struct {
 	TIDsByProc map[int][]int64
 	Entries    int
 	Attempt    int // echoes auxLookup.Attempt
+}
+
+// batchMember is one query's share of a predicate-grouped shared-scan
+// batch.
+type batchMember struct {
+	QID  int64
+	Pred core.Predicate
+}
+
+// batchMemberBytes is the wire size of one batch member (query id +
+// predicate).
+const batchMemberBytes = 24
+
+// batchOp asks a node to run one shared scan for a predicate group: the
+// union of the members' page sets is read once, per-member qualification
+// CPU is charged in full, and each member receives its own opResult, in
+// admission order.
+type batchOp struct {
+	Relation string
+	Access   AccessKind
+	ReplyTo  int
+	Members  []batchMember
 }
 
 // attemptTagged is implemented by result messages that echo their dispatch

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/buffer"
+	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -73,6 +74,12 @@ type Node struct {
 	OpsExecuted   int64
 	TuplesShipped int64
 	OpErrors      int64
+
+	// Shared-scan accounting (batched operators only): page accesses the
+	// members' access methods requested vs. the distinct pages actually
+	// replayed against the buffer pool.
+	SharedPagesRequested int64
+	SharedPagesRead      int64
 
 	// Registry handles (nil-safe when metrics are disabled).
 	opsC    *obs.Counter
@@ -216,6 +223,7 @@ func (n *Node) Down() bool { return n.down }
 // registry counters are reset wholesale by the caller via Registry.Reset.
 func (n *Node) ResetStats() {
 	n.OpsExecuted, n.TuplesShipped = 0, 0
+	n.SharedPagesRequested, n.SharedPagesRead = 0, 0
 }
 
 // fragment panics if the node lacks the relation — the routing layer sent
@@ -284,6 +292,9 @@ func (n *Node) Start() {
 			case startOp:
 				n.eng.Spawn(fmt.Sprintf("node%d.op.q%d", n.ID, req.QueryID),
 					func(op *sim.Proc) { n.runSelect(op, req) })
+			case batchOp:
+				n.eng.Spawn(fmt.Sprintf("node%d.sharedop", n.ID),
+					func(op *sim.Proc) { n.runSharedBatch(op, req) })
 			case auxLookup:
 				n.eng.Spawn(fmt.Sprintf("node%d.aux.q%d", n.ID, req.QueryID),
 					func(op *sim.Proc) { n.runAuxLookup(op, req) })
@@ -360,17 +371,90 @@ func (n *Node) selectAccess(req startOp) (storage.Access, error) {
 	if err != nil {
 		return storage.Access{}, err
 	}
-	switch req.Access {
+	return accessFor(frag, req.Access, req.Pred, req.TIDs)
+}
+
+// accessFor runs one access method against a resolved fragment.
+func accessFor(frag *storage.Fragment, kind AccessKind, pred core.Predicate, tids []int64) (storage.Access, error) {
+	switch kind {
 	case AccessClustered:
-		return frag.SearchClustered(req.Pred.Lo, req.Pred.Hi)
+		return frag.SearchClustered(pred.Lo, pred.Hi)
 	case AccessNonClustered:
-		return frag.SearchNonClustered(req.Pred.Attr, req.Pred.Lo, req.Pred.Hi)
+		return frag.SearchNonClustered(pred.Attr, pred.Lo, pred.Hi)
 	case AccessTIDFetch:
-		return frag.FetchTIDs(req.TIDs)
+		return frag.FetchTIDs(tids)
 	case AccessSeqScan:
-		return frag.Scan(req.Pred.Attr, req.Pred.Lo, req.Pred.Hi), nil
+		return frag.Scan(pred.Attr, pred.Lo, pred.Hi), nil
 	default:
-		return storage.Access{}, fmt.Errorf("exec: unknown access kind %v", req.Access)
+		return storage.Access{}, fmt.Errorf("exec: unknown access kind %v", kind)
+	}
+}
+
+// runSharedBatch executes one predicate-grouped shared scan: every member's
+// page trace is resolved up front (pure computation), the union of the
+// traces is replayed against the buffer pool reading each distinct page
+// once, and per-member qualification CPU is charged in full — the disk pass
+// is shared, the processing is not. Members are answered in admission
+// order. Shared batches run only on the legacy fault-free path, so access
+// errors panic like the aggregate/join operators rather than degrading a
+// single query.
+func (n *Node) runSharedBatch(p *sim.Proc, req batchOp) {
+	epoch := n.epoch
+	span := n.eng.StartSpan()
+	h := n.heatFor(req.Relation, false)
+	frag := n.fragment(req.Relation)
+	accs := make([]storage.Access, len(req.Members))
+	for i, m := range req.Members {
+		accs[i] = mustAccess(accessFor(frag, req.Access, m.Pred, nil))
+	}
+	seen := make(map[int]bool)
+	idxPages, dataPages := 0, 0
+	for i := range accs {
+		for _, pg := range accs[i].IndexPages {
+			n.SharedPagesRequested++
+			if !seen[pg] {
+				seen[pg] = true
+				idxPages++
+				n.SharedPagesRead++
+				if err := n.Pool.ReadHeat(p, pg, h); err != nil {
+					panic(err)
+				}
+			}
+			n.CPU.Execute(p, n.costs.IndexPageInstr)
+		}
+		for _, pg := range accs[i].DataPages {
+			n.SharedPagesRequested++
+			if !seen[pg] {
+				seen[pg] = true
+				dataPages++
+				n.SharedPagesRead++
+				if err := n.Pool.ReadHeat(p, pg, h); err != nil {
+					panic(err)
+				}
+			}
+			n.CPU.Execute(p, n.params.ReadPageInstr)
+		}
+	}
+	n.pagesC.Add(int64(idxPages + dataPages))
+
+	var batchBytes int64
+	for i, m := range req.Members {
+		tuples := len(accs[i].Tuples)
+		n.OpsExecuted++
+		n.TuplesShipped += int64(tuples)
+		n.opsC.Inc()
+		n.tuplesC.Add(int64(tuples))
+		bytes := n.params.TupleBytes(tuples) + controlBytes
+		batchBytes += int64(bytes)
+		n.send(p, epoch, hw.Message{
+			From: n.ID, To: req.ReplyTo, Bytes: bytes,
+			Payload: opResult{QueryID: m.QID, Node: n.ID, Tuples: tuples},
+		})
+	}
+	h.Account(idxPages, dataPages, batchBytes, false)
+	if span.Active() {
+		span.End(n.ID, "op", "shared select "+req.Access.String(), 0,
+			fmt.Sprintf("%d members, %d pages", len(req.Members), idxPages+dataPages))
 	}
 }
 

@@ -1,0 +1,290 @@
+package exec
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/plan"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// runConcurrent drives one query per predicate, all submitted at t=0, on a
+// fresh rig, and returns the per-query results in predicate order plus the
+// rig for post-run inspection.
+func runConcurrent(t *testing.T, share bool, preds []core.Predicate) ([]QueryResult, *rig) {
+	t.Helper()
+	rel := storage.GenerateWisconsin(storage.GenSpec{Cardinality: 200, Seed: 9})
+	r := newRig(t, core.NewRangeForRelation(rel, storage.Unique1, 2))
+	if share {
+		r.host.EnableSharing(5 * sim.Millisecond)
+	}
+	results := make([]QueryResult, len(preds))
+	done := 0
+	for i := range preds {
+		i := i
+		r.eng.Spawn("term", func(p *sim.Proc) {
+			results[i] = r.host.Execute(p, preds[i], chooser)
+			done++
+			if done == len(preds) {
+				r.eng.Stop()
+			}
+		})
+	}
+	if err := r.eng.RunUntil(sim.Time(120 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if done != len(preds) {
+		t.Fatalf("only %d of %d queries completed", done, len(preds))
+	}
+	return results, r
+}
+
+// answer is the schedule-independent part of a QueryResult: everything a
+// client would consider "the result", with timing stripped.
+type answer struct {
+	Pred           core.Predicate
+	Tuples         int
+	ProcessorsUsed int
+	AuxProcessors  int
+	Value          int64
+	Served         []ServedOp
+}
+
+func answerOf(r QueryResult) answer {
+	served := append([]ServedOp(nil), r.ServedBy...)
+	// ServedBy is in completion order, which sharing may permute across
+	// nodes; the per-fragment attribution must still match exactly.
+	sort.Slice(served, func(i, j int) bool {
+		if served[i].Fragment != served[j].Fragment {
+			return served[i].Fragment < served[j].Fragment
+		}
+		return !served[i].Aux && served[j].Aux
+	})
+	return answer{
+		Pred: r.Pred, Tuples: r.Tuples,
+		ProcessorsUsed: r.ProcessorsUsed, AuxProcessors: r.AuxProcessors,
+		Value: r.Value, Served: served,
+	}
+}
+
+// TestSharedBatchMatchesUnshared is the tentpole's correctness property:
+// a batch of concurrent selections executed through the shared-scan manager
+// returns, query for query, exactly the answers the same selections produce
+// unshared. Only timing may differ.
+func TestSharedBatchMatchesUnshared(t *testing.T) {
+	cases := map[string][]core.Predicate{
+		"identical": func() []core.Predicate {
+			preds := make([]core.Predicate, 12)
+			for i := range preds {
+				preds[i] = core.Predicate{Attr: storage.Unique2, Lo: 40, Hi: 79}
+			}
+			return preds
+		}(),
+		"overlapping": func() []core.Predicate {
+			preds := make([]core.Predicate, 10)
+			for i := range preds {
+				preds[i] = core.Predicate{Attr: storage.Unique2, Lo: int64(i * 5), Hi: int64(i*5 + 30)}
+			}
+			return preds
+		}(),
+		"mixed-access": {
+			{Attr: storage.Unique2, Lo: 10, Hi: 49},
+			{Attr: storage.Unique2, Lo: 20, Hi: 59},
+			{Attr: storage.Unique1, Lo: 100, Hi: 100},
+			{Attr: storage.Unique1, Lo: 100, Hi: 100},
+			{Attr: storage.Unique1, Lo: 30, Hi: 60},
+		},
+	}
+	for name, preds := range cases {
+		t.Run(name, func(t *testing.T) {
+			off, _ := runConcurrent(t, false, preds)
+			on, r := runConcurrent(t, true, preds)
+			stats := r.host.Shared.Stats()
+			if stats.SharedOps == 0 {
+				t.Fatalf("no sharing happened; the property is vacuous: %+v", stats)
+			}
+			for i := range preds {
+				a, b := answerOf(off[i]), answerOf(on[i])
+				if !reflect.DeepEqual(a, b) {
+					t.Errorf("query %d diverged under sharing:\nunshared %+v\nshared   %+v", i, a, b)
+				}
+				if on[i].Err != nil {
+					t.Errorf("query %d failed under sharing: %v", i, on[i].Err)
+				}
+			}
+			var req, read int64
+			for _, n := range r.nodes {
+				req += n.SharedPagesRequested
+				read += n.SharedPagesRead
+			}
+			if req == 0 || read == 0 || read > req {
+				t.Errorf("bad shared page accounting: requested %d, read %d", req, read)
+			}
+		})
+	}
+}
+
+// TestSharedBatchDedupsPages: identical concurrent selections must collapse
+// to (nearly) one disk pass — distinct pages read well below pages requested.
+func TestSharedBatchDedupsPages(t *testing.T) {
+	preds := make([]core.Predicate, 8)
+	for i := range preds {
+		preds[i] = core.Predicate{Attr: storage.Unique2, Lo: 0, Hi: 99}
+	}
+	_, r := runConcurrent(t, true, preds)
+	stats := r.host.Shared.Stats()
+	var req, read int64
+	for _, n := range r.nodes {
+		req += n.SharedPagesRequested
+		read += n.SharedPagesRead
+	}
+	// 8 identical members per fragment batch: the union is one member's page
+	// set, so at most ~1/8 of the requests hit the pool.
+	if read*4 > req {
+		t.Fatalf("identical batch barely deduped: %d read of %d requested (%s)", read, req, stats)
+	}
+	if stats.Batches == 0 || stats.BatchedOps != int64(len(preds)*2) {
+		t.Fatalf("expected %d batched ops across 2 nodes, got %+v", len(preds)*2, stats)
+	}
+}
+
+// TestSubmitMatchesExecute: the deprecated Execute wrapper and an explicit
+// plan submission are the same query — byte-identical results, timing
+// included, because the wrapper is a pure rewrite.
+func TestSubmitMatchesExecute(t *testing.T) {
+	rel := storage.GenerateWisconsin(storage.GenSpec{Cardinality: 200, Seed: 9})
+	pl := core.NewRangeForRelation(rel, storage.Unique1, 2)
+	pred := core.Predicate{Attr: storage.Unique2, Lo: 50, Hi: 69}
+
+	a := newRig(t, pl).execute(t, pred)
+
+	r := newRig(t, pl)
+	var b QueryResult
+	r.eng.Spawn("probe", func(p *sim.Proc) {
+		b = r.host.Submit(p, plan.NewIndexScan(rel.Name, pred, AccessClustered))
+		r.eng.Stop()
+	})
+	if err := r.eng.RunUntil(sim.Time(60 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Execute and Submit diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestSubmitAutoAccess: AccessAuto resolves through the relation's policy.
+func TestSubmitAutoAccess(t *testing.T) {
+	rel := storage.GenerateWisconsin(storage.GenSpec{Cardinality: 200, Seed: 9})
+	pl := core.NewRangeForRelation(rel, storage.Unique1, 2)
+	pred := core.Predicate{Attr: storage.Unique1, Lo: 100, Hi: 100}
+
+	a := newRig(t, pl).execute(t, pred)
+
+	r := newRig(t, pl)
+	r.host.SetAccessPolicy(rel.Name, chooser)
+	var b QueryResult
+	r.eng.Spawn("probe", func(p *sim.Proc) {
+		b = r.host.Submit(p, plan.NewIndexScan(rel.Name, pred, plan.AccessAuto))
+		r.eng.Stop()
+	})
+	if err := r.eng.RunUntil(sim.Time(60 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("AccessAuto diverged from the policy's explicit kind:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestSubmitAutoAccessNeedsPolicy: an AccessAuto scan of a relation with no
+// installed policy is a programming error and must surface.
+func TestSubmitAutoAccessNeedsPolicy(t *testing.T) {
+	rel := storage.GenerateWisconsin(storage.GenSpec{Cardinality: 200, Seed: 9})
+	r := newRig(t, core.NewRangeForRelation(rel, storage.Unique1, 2))
+	r.eng.Spawn("probe", func(p *sim.Proc) {
+		r.host.Submit(p, plan.NewIndexScan(rel.Name,
+			core.Predicate{Attr: storage.Unique2, Lo: 0, Hi: 9}, plan.AccessAuto))
+	})
+	if err := r.eng.RunUntil(sim.Time(10 * sim.Second)); err == nil {
+		t.Fatal("AccessAuto without a policy should surface as an error")
+	}
+}
+
+// TestSubmitFilterIntersection: a Filter over an IndexScan on the same
+// attribute executes the intersected range.
+func TestSubmitFilterIntersection(t *testing.T) {
+	rel := storage.GenerateWisconsin(storage.GenSpec{Cardinality: 200, Seed: 9})
+	pl := core.NewRangeForRelation(rel, storage.Unique1, 2)
+
+	a := newRig(t, pl).execute(t, core.Predicate{Attr: storage.Unique2, Lo: 40, Hi: 60})
+
+	r := newRig(t, pl)
+	var b QueryResult
+	r.eng.Spawn("probe", func(p *sim.Proc) {
+		b = r.host.Submit(p, plan.NewFilter(
+			core.Predicate{Attr: storage.Unique2, Lo: 40, Hi: 79},
+			plan.NewIndexScan(rel.Name,
+				core.Predicate{Attr: storage.Unique2, Lo: 30, Hi: 60}, AccessClustered)))
+		r.eng.Stop()
+	})
+	if err := r.eng.RunUntil(sim.Time(60 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("filter intersection diverged from the direct range:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestSubmitAggregatePlan: an Aggregate-rooted plan runs the partial
+// aggregation protocol and carries the value in QueryResult.Value.
+func TestSubmitAggregatePlan(t *testing.T) {
+	rel := storage.GenerateWisconsin(storage.GenSpec{Cardinality: 200, Seed: 9})
+	pl := core.NewRangeForRelation(rel, storage.Unique1, 2)
+	pred := core.Predicate{Attr: storage.Unique2, Lo: 0, Hi: 99}
+
+	r1 := newRig(t, pl)
+	var want AggResult
+	r1.eng.Spawn("probe", func(p *sim.Proc) {
+		want = r1.host.ExecuteAggregate(p, AggSpec{
+			Relation: rel.Name, Kind: AggSum, Attr: storage.Unique1,
+			Pred: pred, Access: AccessClustered,
+		})
+		r1.eng.Stop()
+	})
+	if err := r1.eng.RunUntil(sim.Time(60 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := newRig(t, pl)
+	var got QueryResult
+	r2.eng.Spawn("probe", func(p *sim.Proc) {
+		got = r2.host.Submit(p, plan.NewAggregate(AggSum, storage.Unique1,
+			plan.NewIndexScan(rel.Name, pred, AccessClustered)))
+		r2.eng.Stop()
+	})
+	if err := r2.eng.RunUntil(sim.Time(60 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if got.Value != want.Value || got.Tuples != want.Tuples ||
+		got.ProcessorsUsed != want.ProcessorsUsed {
+		t.Fatalf("aggregate plan %+v != direct %+v", got, want)
+	}
+	if got.Value == 0 {
+		t.Fatal("sum over a hundred tuples cannot be zero")
+	}
+}
+
+// TestSharingExcludedFromDegraded: arming both schedulers is a wiring bug.
+func TestSharingExcludedFromDegraded(t *testing.T) {
+	rel := storage.GenerateWisconsin(storage.GenSpec{Cardinality: 200, Seed: 9})
+	r := newRig(t, core.NewRangeForRelation(rel, storage.Unique1, 2))
+	r.host.Degraded = &Degraded{Policy: DefaultRetryPolicy()}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EnableSharing with Degraded armed should panic")
+		}
+	}()
+	r.host.EnableSharing(sim.Millisecond)
+}

@@ -147,7 +147,53 @@ type Options struct {
 	// heat-free build.
 	Heat     bool `json:"Heat,omitempty"`
 	HeatTopK int  `json:"HeatTopK,omitempty"`
+
+	// SharingWindowMS arms shared-scan batching on every machine the
+	// experiment builds (batching window in simulated milliseconds; 0 =
+	// gamma.DefaultSharingWindow when armed via ArmSharing, off otherwise).
+	// Mutually exclusive with Faults/ChainedReplicas — sharing rides the
+	// legacy scheduler. Off by default, leaving experiment output
+	// byte-identical to a sharing-free build.
+	SharingWindowMS float64 `json:"SharingWindowMS,omitempty"`
+	sharingArmed    bool
 }
+
+// ArmTelemetry arms windowed time-series sampling. Prefer these Arm helpers
+// over poking the spec fields directly (the declusterbench plumbing used
+// to): they keep the flag surface and gamma.Config's option constructors in
+// one-to-one correspondence, with gamma.Config.Validate as the single
+// validation path.
+func (o *Options) ArmTelemetry(windowMS float64, capacity int, burnBudget float64) {
+	o.TelemetryWindowMS = windowMS
+	o.TelemetryCapacity = capacity
+	o.BurnBudget = burnBudget
+}
+
+// ArmHeat arms fragment-heat accounting with a topK-bounded report.
+func (o *Options) ArmHeat(topK int) {
+	o.Heat = true
+	o.HeatTopK = topK
+}
+
+// ArmSharing arms shared-scan batching; windowMS <= 0 selects the gamma
+// default window.
+func (o *Options) ArmSharing(windowMS float64) {
+	o.sharingArmed = true
+	if windowMS > 0 {
+		o.SharingWindowMS = windowMS
+	}
+}
+
+// ArmFaults arms the deterministic fault injector (and, optionally,
+// chained-replica mirroring for degraded-mode rerouting).
+func (o *Options) ArmFaults(spec *fault.Spec, chainedReplicas bool) {
+	o.Faults = spec
+	o.ChainedReplicas = chainedReplicas
+}
+
+// SharingArmed reports whether ArmSharing was called or a positive window
+// was set directly (archives round-trip only the window).
+func (o Options) SharingArmed() bool { return o.sharingArmed || o.SharingWindowMS > 0 }
 
 // PaperScale returns the full-scale options used for EXPERIMENTS.md.
 func PaperScale() Options {
@@ -252,8 +298,7 @@ func ConfigFor(opts Options) gamma.Config {
 		cfg := *opts.Config
 		cfg.HW.NumProcessors = opts.Processors
 		cfg.Seed = opts.Seed
-		stampFaults(&cfg, opts)
-		return cfg
+		return stampSpecs(cfg, opts)
 	}
 	cfg := gamma.DefaultConfig()
 	leafCap := cfg.Layout.IndexLeafCap
@@ -261,30 +306,38 @@ func ConfigFor(opts Options) gamma.Config {
 	cfg.BufferPages = 2*perNode + 6
 	cfg.HW.NumProcessors = opts.Processors
 	cfg.Seed = opts.Seed
-	stampFaults(&cfg, opts)
-	return cfg
+	return stampSpecs(cfg, opts)
 }
 
-// stampFaults carries the experiment-level fault knobs onto the machine
-// config. Options wins only when it says something: a nil Options.Faults
-// leaves a Config override's own spec in place.
-func stampFaults(cfg *gamma.Config, opts Options) {
+// stampSpecs carries the experiment-level subsystem knobs onto the machine
+// config through gamma's option constructors, so every armed spec flows
+// through the same copy-and-validate path a direct gamma user gets. Options
+// wins only when it says something: a nil Options.Faults leaves a Config
+// override's own spec in place.
+func stampSpecs(cfg gamma.Config, opts Options) gamma.Config {
+	var armed []gamma.Option
 	if opts.Faults != nil {
-		cfg.Faults = opts.Faults
+		armed = append(armed, gamma.WithFaults(opts.Faults))
 	}
 	if opts.ChainedReplicas {
-		cfg.ChainedReplicas = true
+		armed = append(armed, gamma.WithChainedReplicas())
 	}
 	if opts.TelemetryWindowMS > 0 {
-		cfg.Telemetry = &gamma.TelemetrySpec{
+		armed = append(armed, gamma.WithTelemetry(gamma.TelemetrySpec{
 			Window:     sim.Duration(opts.TelemetryWindowMS * float64(sim.Millisecond)),
 			Capacity:   opts.TelemetryCapacity,
 			BurnBudget: opts.BurnBudget,
-		}
+		}))
 	}
 	if opts.Heat {
-		cfg.Heat = &gamma.HeatSpec{TopK: opts.HeatTopK}
+		armed = append(armed, gamma.WithHeat(gamma.HeatSpec{TopK: opts.HeatTopK}))
 	}
+	if opts.SharingArmed() {
+		armed = append(armed, gamma.WithSharing(gamma.SharingSpec{
+			Window: sim.Duration(opts.SharingWindowMS * float64(sim.Millisecond)),
+		}))
+	}
+	return cfg.With(armed...)
 }
 
 // Run executes the figure across its strategies and the MPL sweep. It is a

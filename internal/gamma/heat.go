@@ -46,6 +46,21 @@ func (h *HeatSpec) decay() float64 {
 	return h.Decay
 }
 
+// validate rejects nonsensical heat parameters (nil is valid: heat off;
+// zero values defer to defaults).
+func (h *HeatSpec) validate() error {
+	if h == nil {
+		return nil
+	}
+	if h.TopK < 0 {
+		return fmt.Errorf("gamma: negative heat top-k %d", h.TopK)
+	}
+	if h.Decay < 0 || h.Decay >= 1 {
+		return fmt.Errorf("gamma: heat decay %v outside [0,1)", h.Decay)
+	}
+	return nil
+}
+
 // registerHeatSeries adds the heat time-series to the machine sampler:
 // one decayed-heat gauge per fragment (labelled with fragment, node and
 // strategy so /metrics exposes dimensioned heat) plus machine-level

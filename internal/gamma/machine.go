@@ -57,6 +57,13 @@ type Config struct {
 	// (the default) attaches no accumulators, so the simulation schedule
 	// and all output stay byte-identical to a heat-free build.
 	Heat *HeatSpec
+	// Sharing, when non-nil, arms the shared-scan manager: concurrent
+	// selections hitting the same fragment within the batching window are
+	// predicate-grouped into one disk pass (exec.SharedScans), and results
+	// carry SharingStats. Nil (the default) leaves the simulation schedule
+	// byte-identical to a build without sharing support. Mutually
+	// exclusive with Faults/ChainedReplicas (Validate enforces it).
+	Sharing *SharingSpec
 	// Seed drives all machine-level randomness (disk latencies, workload).
 	Seed int64
 
@@ -162,13 +169,7 @@ func distribute(rel *storage.Relation, placement core.Placement) (*relationEntry
 // construction) happen once; the simulation engine itself is rebuilt per
 // Run so successive runs are independent.
 func Build(rel *storage.Relation, placement core.Placement, cfg Config) (*Machine, error) {
-	if err := cfg.HW.Validate(); err != nil {
-		return nil, err
-	}
-	if cfg.BufferPages < 0 {
-		return nil, fmt.Errorf("gamma: negative buffer size %d", cfg.BufferPages)
-	}
-	if err := cfg.Faults.Validate(placement.Processors()); err != nil {
+	if err := cfg.Validate(placement.Processors()); err != nil {
 		return nil, err
 	}
 	entry, err := distribute(rel, placement)
@@ -393,6 +394,12 @@ func (m *Machine) reset() {
 			m.Injector = fault.NewInjector(eng, *cfg.Faults, view, targets, streams)
 			m.Injector.Start()
 		}
+	}
+
+	// Shared scans: armed only on the legacy fault-free path (Validate
+	// rejects the combination with degraded mode).
+	if cfg.Sharing != nil {
+		host.EnableSharing(cfg.Sharing.window())
 	}
 
 	m.Telemetry = nil

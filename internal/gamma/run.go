@@ -6,6 +6,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -111,6 +112,9 @@ type RunResult struct {
 	// re-declustering loop subscribes to.
 	Heat         *obs.HeatSnapshot `json:"heat,omitempty"`
 	HotFragments []obs.HotFragment `json:"hot_fragments,omitempty"`
+	// Sharing is the shared-scan manager's tally when Config.Sharing is
+	// armed (counters cover the measurement window only).
+	Sharing *exec.SharingStats `json:"sharing,omitempty"`
 
 	// Degraded-mode accounting. Outcomes tallies every completion in the
 	// window (Completed and the response statistics cover only the
@@ -149,6 +153,7 @@ func (m *Machine) Run(mix workload.Mix, spec RunSpec) (RunResult, error) {
 	m.reset()
 	eng := m.Eng
 	access := mix.AccessChooser()
+	m.Host.SetAccessPolicy(m.Relation.Name, access)
 	card := m.Relation.Cardinality()
 	streams := rng.NewFactory(seed)
 
@@ -176,7 +181,7 @@ func (m *Machine) Run(mix workload.Mix, spec RunSpec) (RunResult, error) {
 		eng.Spawn(fmt.Sprintf("terminal%d", term), func(p *sim.Proc) {
 			for {
 				pred, cls := mix.Sample(src, card)
-				res := m.Host.Execute(p, pred, access)
+				res := m.Host.Submit(p, plan.Select(m.Relation.Name, pred, access(pred)))
 				completed++
 				if measuring {
 					switch res.Outcome {
@@ -264,6 +269,7 @@ func (m *Machine) Run(mix workload.Mix, spec RunSpec) (RunResult, error) {
 		out.Heat = m.Heat.Snapshot(m.Cfg.Heat.topK())
 		out.HotFragments = out.Heat.HotFragments()
 	}
+	out.Sharing = m.sharingStats()
 	mean, _ := resp.Interval(10)
 	out.MeanResponseMS = mean
 	out.P95ResponseMS = resp.Percentile(95)
@@ -342,9 +348,27 @@ func (m *Machine) resetStats() {
 	}
 	m.Net.ResetStats()
 	m.Heat.Reset()
+	if m.Host.Shared != nil {
+		m.Host.Shared.ResetStats()
+	}
 	if reg := m.Eng.Metrics(); reg != nil {
 		reg.Reset()
 	}
+}
+
+// sharingStats assembles the shared-scan tally — the host manager's flush
+// counters plus the page dedup counters summed over the operator nodes —
+// or nil when sharing is off.
+func (m *Machine) sharingStats() *exec.SharingStats {
+	if m.Host.Shared == nil {
+		return nil
+	}
+	s := m.Host.Shared.Stats()
+	for _, n := range m.Nodes {
+		s.PagesRequested += n.SharedPagesRequested
+		s.PagesRead += n.SharedPagesRead
+	}
+	return &s
 }
 
 func (m *Machine) totalDiskReads() int64 {

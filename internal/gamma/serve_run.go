@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/rng"
@@ -74,6 +75,11 @@ type ServeResult struct {
 	// its hottest entries — the same detector feed RunResult carries.
 	Heat         *obs.HeatSnapshot `json:"heat,omitempty"`
 	HotFragments []obs.HotFragment `json:"hot_fragments,omitempty"`
+
+	// Sharing is the shared-scan manager's tally when Config.Sharing is
+	// armed: with an open arrival process, batching rides the offered
+	// load's natural burstiness.
+	Sharing *exec.SharingStats `json:"sharing,omitempty"`
 }
 
 // String renders the headline numbers.
@@ -157,5 +163,6 @@ func (m *Machine) RunServe(mix workload.Mix, spec ServeSpec) (ServeResult, error
 		out.Heat = m.Heat.Snapshot(m.Cfg.Heat.topK())
 		out.HotFragments = out.Heat.HotFragments()
 	}
+	out.Sharing = m.sharingStats()
 	return out, nil
 }

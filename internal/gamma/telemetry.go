@@ -34,6 +34,24 @@ func (t *TelemetrySpec) window() sim.Duration {
 	return t.Window
 }
 
+// validate rejects nonsensical telemetry parameters (nil is valid:
+// telemetry off; zero values defer to defaults).
+func (t *TelemetrySpec) validate() error {
+	if t == nil {
+		return nil
+	}
+	if t.Window < 0 {
+		return fmt.Errorf("gamma: negative telemetry window %v", t.Window)
+	}
+	if t.Capacity < 0 {
+		return fmt.Errorf("gamma: negative telemetry capacity %d", t.Capacity)
+	}
+	if t.BurnBudget < 0 || t.BurnBudget >= 1 {
+		return fmt.Errorf("gamma: burn budget %v outside [0,1)", t.BurnBudget)
+	}
+	return nil
+}
+
 // newMachineSampler builds the sampler and registers the machine-side
 // probes. Windowed utilizations are rate series over cumulative
 // busy-seconds — the sampler differences consecutive readings, so each

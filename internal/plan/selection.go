@@ -1,0 +1,67 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// Selection is the executor-ready form of a selection subtree: one relation,
+// one effective predicate, one access method. It is what the paper's
+// workload consists of, and the unit the shared-scan manager groups.
+type Selection struct {
+	Relation string
+	Pred     core.Predicate
+	// HasPred is false for a bare full-relation Scan; the executor
+	// substitutes the full attribute domain.
+	HasPred bool
+	Access  Access
+}
+
+// CompileSelection lowers a selection tree — a chain of Filter nodes over a
+// Scan or IndexScan leaf — to its executor-ready form, intersecting
+// same-attribute filters into the leaf predicate. A tree whose residual
+// filters name a second attribute is a valid plan but not executable by the
+// single-attribute selection engine, and is rejected with a clear error.
+func CompileSelection(n *Node) (Selection, error) {
+	if err := n.Validate(); err != nil {
+		return Selection{}, err
+	}
+	cur := n
+	var filters []core.Predicate
+	for cur.Kind == KindFilter {
+		filters = append(filters, cur.Pred)
+		cur = cur.Inputs[0]
+	}
+	var sel Selection
+	switch cur.Kind {
+	case KindScan:
+		sel = Selection{Relation: cur.Relation, Pred: cur.Pred, HasPred: cur.HasPred,
+			Access: AccessSeqScan}
+	case KindIndexScan:
+		sel = Selection{Relation: cur.Relation, Pred: cur.Pred, HasPred: true,
+			Access: cur.Access}
+	default:
+		return Selection{}, fmt.Errorf("plan: %s node is not part of a selection tree", cur.Kind)
+	}
+	for _, f := range filters {
+		if !sel.HasPred {
+			sel.Pred, sel.HasPred = f, true
+			continue
+		}
+		if f.Attr != sel.Pred.Attr {
+			return Selection{}, fmt.Errorf(
+				"plan: residual filter on %s over a scan of %s is not executable (single-attribute selections only)",
+				storage.AttrName(f.Attr), storage.AttrName(sel.Pred.Attr))
+		}
+		// Same attribute: intersect the ranges.
+		if f.Lo > sel.Pred.Lo {
+			sel.Pred.Lo = f.Lo
+		}
+		if f.Hi < sel.Pred.Hi {
+			sel.Pred.Hi = f.Hi
+		}
+	}
+	return sel, nil
+}
