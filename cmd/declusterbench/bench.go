@@ -20,6 +20,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/hw"
 	"repro/internal/obs"
+	"repro/internal/rebalance"
 	"repro/internal/rng"
 	"repro/internal/serve"
 	"repro/internal/sim"
@@ -67,6 +68,7 @@ func kernelBenchmarks() []struct {
 		{"SamplerSample", benchSamplerSample},
 		{"HeatSample", benchHeatSample},
 		{"SharedScanBatch", benchSharedScanBatch},
+		{"MigrationStep", benchMigrationStep},
 		{"OpenArrivals", benchOpenArrivals},
 		{"OpenArrivalsSampled", benchOpenArrivalsSampled},
 	}
@@ -280,6 +282,40 @@ func benchSharedScanBatch(b *testing.B) {
 	b.ResetTimer()
 	horizon := sim.Duration(b.N)*sim.Second + 60*sim.Second
 	if err := eng.RunUntil(sim.Time(horizon)); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchNopIO is free page I/O, so the migration benchmark isolates the
+// copier itself (throttle hold, dispatch, counters) from disk latency.
+type benchNopIO struct{}
+
+func (benchNopIO) ReadPage(p *sim.Proc, node, page int) error  { return nil }
+func (benchNopIO) WritePage(p *sim.Proc, node, page int) error { return nil }
+
+// benchMigrationStep measures the rebalance copier's per-page cost with an
+// instantaneous rate, so the sim clock, not the throttle budget, bounds
+// throughput. Mirrors internal/rebalance's BenchmarkMigrationStep by name
+// and shape.
+func benchMigrationStep(b *testing.B) {
+	eng := sim.New()
+	cp := &rebalance.Copier{IO: benchNopIO{}, RatePagesPerSec: 1 << 30, PageBytes: 8192}
+	moves := make([]rebalance.TupleMove, 64)
+	for i := range moves {
+		moves[i] = rebalance.TupleMove{Src: 0, Dst: 1, SrcPage: i, DstPage: i}
+	}
+	plan := rebalance.BuildPlan(moves)
+	pages := plan.Pages()
+	eng.Spawn("bench", func(p *sim.Proc) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i += pages {
+			if err := cp.Run(p, plan); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.ReportAllocs()
+	if err := eng.Run(); err != nil {
 		b.Fatal(err)
 	}
 }

@@ -82,6 +82,28 @@
 // Sharing rides the legacy scheduler, so -share is mutually exclusive with
 // every fault flag and with -open.
 //
+// Elastic membership (DESIGN.md §13): serve an open arrival process while
+// the membership controller joins a standby node and decommissions a member
+// mid-run, restaging each strategy's own placement at the new node count
+// behind a throttled background copy and a dual-read cutover:
+//
+//	-elastic         run the elasticity campaign (default figure scope: 8a
+//	                 when -fig is not given); prints a per-point table of
+//	                 time-to-rebalance, data moved and goodput dip plus one
+//	                 greppable "rebalance summary: ..." line per point
+//	-join-at D       schedule one standby join at offset D (default 300ms;
+//	                 negative disables the join)
+//	-leave-at D      schedule the decommission of -leave-node at offset D
+//	                 (default 3x -join-at; negative disables it)
+//	-leave-node N    the member decommissioned at -leave-at (default 1)
+//	-migrate-rate R  throttle the background copier to R pages/second
+//	                 (default: the rebalance package default)
+//	-sizes 4,8       comma-separated initial cluster sizes (default -procs)
+//
+// The elasticity campaign reuses -arrival, -tenants, -slo-ms and -governor;
+// -lambda's first value is the offered load (default 100). -elastic is
+// mutually exclusive with -open, -share and -faults.
+//
 // Fault injection (all fault flags imply chained replicas and the degraded
 // scheduler; see DESIGN.md §8):
 //
@@ -171,6 +193,12 @@ func run() int {
 		heatmapDir  = flag.String("heatmap-dir", "", "write per-strategy fragment heat CSVs into this directory (implies -heatmap)")
 		heatTopK    = flag.Int("heat-topk", 0, "hot-fragment report size (default 5; implies -heatmap)")
 		share       = flag.Bool("share", false, "run the shared-scan campaign (sharing off vs on per strategy)")
+		elastic     = flag.Bool("elastic", false, "run the elasticity campaign (join + decommission under open load)")
+		joinAt      = flag.Duration("join-at", 0, "standby join offset (default 300ms; negative disables)")
+		leaveAt     = flag.Duration("leave-at", 0, "decommission offset (default 3x -join-at; negative disables)")
+		leaveNode   = flag.Int("leave-node", 0, "member decommissioned at -leave-at (default 1)")
+		migrateRate = flag.Int("migrate-rate", 0, "background copier throttle in pages/second (0 = rebalance default)")
+		sizeList    = flag.String("sizes", "", "comma-separated initial cluster sizes (default -procs)")
 		shareWindow = flag.Duration("share-window", 0, "shared-scan batching window in simulated time (0 = gamma default)")
 		faultsKs    = flag.String("faults", "", `degraded-mode campaign: comma-separated failed-disk counts, e.g. "0,1,2"`)
 		mtbf        = flag.Duration("mtbf", 0, "mean time between stochastic transient disk read errors (0 = off)")
@@ -251,6 +279,15 @@ func run() int {
 		}
 		figs = []experiments.Figure{fig}
 	}
+	// The elasticity campaign serves one offered load per point with two
+	// copy windows inside it; default to one figure as -open does.
+	if *elastic && *figList == "" {
+		fig, err := experiments.FigureByID("8a")
+		if err != nil {
+			return fail(err)
+		}
+		figs = []experiments.Figure{fig}
+	}
 	oopts, err := buildOpenOptions(*arrival, *lambdaList, *tenants, *sloMS, *governor)
 	if err != nil {
 		return fail(err)
@@ -264,6 +301,16 @@ func run() int {
 	}
 	if *share && (spec.Enabled() || *faultsKs != "" || *open) {
 		return fail(fmt.Errorf("-share is mutually exclusive with fault flags and -open (sharing rides the legacy scheduler)"))
+	}
+	if *elastic && (*open || *share || *faultsKs != "") {
+		return fail(fmt.Errorf("-elastic is mutually exclusive with -open, -share and -faults (one campaign mode per run)"))
+	}
+	if *migrateRate < 0 {
+		return fail(fmt.Errorf("negative -migrate-rate %d", *migrateRate))
+	}
+	sizes, err := parseSizes(*sizeList)
+	if err != nil {
+		return fail(err)
 	}
 	if *shareWindow < 0 {
 		return fail(fmt.Errorf("negative -share-window %v", *shareWindow))
@@ -369,6 +416,60 @@ func run() int {
 				fmt.Fprintln(os.Stderr, "declusterbench:", err)
 				exit = 1
 			}
+		}
+	} else if *elastic {
+		if len(figs) == 0 {
+			return fail(fmt.Errorf(`-elastic needs at least one figure (drop "-fig none")`))
+		}
+		eopts := experiments.ElasticOptions{
+			Arrival:      oopts.Arrival,
+			Tenants:      oopts.Tenants,
+			SLOms:        oopts.SLOms,
+			MaxInService: oopts.MaxInService,
+			JoinAt:       sim.Duration(*joinAt),
+			LeaveAt:      sim.Duration(*leaveAt),
+			LeaveNode:    *leaveNode,
+			MigrateRate:  *migrateRate,
+			Sizes:        sizes,
+		}
+		if len(oopts.Lambdas) > 0 {
+			eopts.Lambda = oopts.Lambdas[0]
+		}
+		fmt.Fprintf(os.Stderr, "running elasticity campaign (%s arrivals) on %d workers...\n",
+			oopts.Arrival, workersFor(*parallel))
+		campaign, err := experiments.RunElastic(figs, opts, eopts, experiments.CampaignOptions{
+			Workers:    *parallel,
+			JobTimeout: *timeout,
+			Progress:   os.Stderr,
+			Label:      "elastic",
+			Hub:        hub,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "declusterbench:", err)
+			exit = 1
+		}
+		manifests = append(manifests, campaign.Manifest)
+		if *tsDir != "" {
+			if err := writeTimeSeriesCSVs(*tsDir, campaign.Manifest); err != nil {
+				fmt.Fprintln(os.Stderr, "declusterbench:", err)
+				exit = 1
+			}
+		}
+		for _, res := range campaign.Figures {
+			if *csv {
+				fmt.Print(res.Table().CSV())
+			} else {
+				fmt.Println(res.Table().String())
+			}
+			for _, n := range res.Notes {
+				fmt.Printf("  %s\n", n)
+			}
+			for _, p := range res.Points {
+				if p.Summary != "" {
+					fmt.Printf("fig%s/%s n=%d %s\n", res.Figure.ID, p.Strategy, p.Size, p.Summary)
+				}
+			}
+			fmt.Println()
 		}
 	} else if *faultsKs != "" {
 		if len(figs) == 0 {
@@ -933,6 +1034,22 @@ func parseKill(s string, kind fault.Kind) (fault.Event, error) {
 		ev.Dur = sim.Duration(d)
 	}
 	return ev, nil
+}
+
+// parseSizes parses the -sizes list of initial cluster sizes.
+func parseSizes(list string) ([]int, error) {
+	if list == "" {
+		return nil, nil
+	}
+	var sizes []int
+	for _, s := range strings.Split(list, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad -sizes entry %q (want positive integers)", s)
+		}
+		sizes = append(sizes, v)
+	}
+	return sizes, nil
 }
 
 // parseKs parses the -faults list of failed-disk counts.

@@ -81,7 +81,12 @@ func newDegradedRig(t *testing.T) *degradedRig {
 	r.host.Degraded = &Degraded{
 		Policy: DefaultRetryPolicy(),
 		View:   r.view,
-		Backup: func(node int) int { return core.ChainBackup(node, 2) },
+		Backup: func(slot, slots int) int {
+			if slots <= 0 {
+				slots = 2
+			}
+			return core.ChainBackup(slot, slots)
+		},
 		Jitter: streams.Stream("retry.jitter"),
 	}
 	r.host.Start()

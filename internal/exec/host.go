@@ -54,8 +54,8 @@ func (o Outcome) Succeeded() bool { return o == OutcomeOK || o == OutcomeRetried
 // backup, and this attribution is what keeps plan explain output and
 // querytrace -frags in agreement.
 type ServedOp struct {
-	Fragment int  // node whose (primary) fragment the operator targeted
-	Node     int  // node that actually served the operator
+	Fragment int  // placement slot whose (primary) fragment the operator targeted
+	Node     int  // physical node that actually served the operator
 	Backup   bool // true when the chained-replica backup served it
 	Aux      bool // BERD auxiliary lookup (step one) rather than a selection
 	Tuples   int  // tuples this operator returned (0 for aux lookups)
@@ -84,8 +84,9 @@ type QueryResult struct {
 	Completed      sim.Time
 
 	// ServedBy attributes each operator to the node that served it, in
-	// completion order. Under chained-replica rerouting the serving node
-	// can differ from the fragment's primary home.
+	// completion order. Under chained-replica rerouting — or mid-migration,
+	// when a slot's fragments have moved to a different physical node — the
+	// serving node can differ from the slot number.
 	ServedBy []ServedOp
 
 	// Value is the aggregate's value for Aggregate-rooted plans submitted
@@ -120,6 +121,16 @@ type Host struct {
 
 	placements  map[string]core.Placement
 	defaultName string
+
+	// Elastic-membership routing state (zero/nil when elasticity is off).
+	// Placements route predicates to slots [0, n); topo maps each slot to
+	// the physical node currently holding its fragments (nil = identity),
+	// and epoch is the placement generation queries are planned against.
+	// Both are replaced atomically at a rebalance cutover; in-flight
+	// queries keep the topology and epoch they captured at submit, which
+	// nodes honour through the dual-read window.
+	topo  []int
+	epoch int
 
 	// BERDFetchByTID makes BERD's second step fetch tuples by TID instead
 	// of re-executing the predicate through each identified processor's
@@ -197,6 +208,52 @@ func (h *Host) AddRelation(name string, pl core.Placement) {
 	if h.defaultName == "" {
 		h.defaultName = name
 	}
+}
+
+// SetPlacement replaces a relation's placement at a rebalance cutover.
+// Unlike AddRelation it requires the relation to exist already.
+func (h *Host) SetPlacement(name string, pl core.Placement) {
+	if _, ok := h.placements[name]; !ok {
+		panic(fmt.Sprintf("exec: SetPlacement of unregistered relation %q", name))
+	}
+	h.placements[name] = pl
+}
+
+// SetTopology installs the slot→physical routing and placement generation
+// of a freshly cut-over membership. topo[i] is the physical node serving
+// slot i; epoch must advance by exactly one generation per cutover.
+func (h *Host) SetTopology(topo []int, epoch int) {
+	if epoch != h.epoch+1 {
+		panic(fmt.Sprintf("exec: SetTopology to epoch %d from %d", epoch, h.epoch))
+	}
+	h.topo = topo
+	h.epoch = epoch
+}
+
+// Epoch reports the host's current placement generation.
+func (h *Host) Epoch() int { return h.epoch }
+
+// physOf maps a placement slot to the physical node serving it.
+func physOf(topo []int, slot int) int {
+	if topo == nil {
+		return slot
+	}
+	return topo[slot]
+}
+
+// slotOf recovers the placement slot a physical node serves (reverse of
+// physOf under the same captured topology). Linear scan: topologies are
+// small and this runs once per reply.
+func slotOf(topo []int, phys int) int {
+	if topo == nil {
+		return phys
+	}
+	for s, n := range topo {
+		if n == phys {
+			return s
+		}
+	}
+	return phys
 }
 
 // Start launches the host's message dispatcher, which demultiplexes operator
@@ -356,6 +413,10 @@ func (h *Host) submitSelect(p *sim.Proc, relation string, pred core.Predicate, k
 	}
 	h.nextQID++
 	qid := h.nextQID
+	// Capture the routing generation once: every dispatch of this query —
+	// including the BERD second step — uses the same topology and epoch,
+	// even if a rebalance cutover lands mid-query.
+	topo, epoch := h.topo, h.epoch
 	qspan := h.eng.StartSpan()
 	res := QueryResult{ID: qid, Pred: pred, Submitted: p.Now()}
 	mb := sim.NewMailbox[any](h.eng, fmt.Sprintf("host.q%d", qid))
@@ -381,18 +442,25 @@ func (h *Host) submitSelect(p *sim.Proc, relation string, pred core.Predicate, k
 	// BERD two-step: consult the auxiliary relation first.
 	if len(route.Aux) > 0 {
 		auxSpan := h.eng.StartSpan()
-		for _, node := range route.Aux {
+		for _, slot := range route.Aux {
+			node := physOf(topo, slot)
 			used[node] = true
 			h.net.Send(p, nil, hw.Message{
 				From: h.ID, To: node, Bytes: controlBytes,
-				Payload: auxLookup{QueryID: qid, Relation: relation, Pred: pred, ReplyTo: h.ID},
+				Payload: auxLookup{QueryID: qid, Relation: relation, Pred: pred, ReplyTo: h.ID, Epoch: epoch},
 			})
 		}
 		res.AuxProcessors = len(route.Aux)
 		tidsByProc = make(map[int][]int64)
 		for i := 0; i < len(route.Aux); i++ {
-			ar := waitFor[auxResult](p, mb)
-			res.ServedBy = append(res.ServedBy, ServedOp{Fragment: ar.Node, Node: ar.Node, Aux: true})
+			ar, err := waitReply[auxResult](p, mb)
+			if err != nil {
+				res.Err = err
+				res.Outcome = OutcomeFailed
+				res.Completed = p.Now()
+				return res
+			}
+			res.ServedBy = append(res.ServedBy, ServedOp{Fragment: slotOf(topo, ar.Node), Node: ar.Node, Aux: true})
 			for proc, tids := range ar.TIDsByProc {
 				tidsByProc[proc] = append(tidsByProc[proc], tids...)
 			}
@@ -415,16 +483,17 @@ func (h *Host) submitSelect(p *sim.Proc, relation string, pred core.Predicate, k
 	// else is eligible for shared-scan batching when the manager is armed.
 	opSpan := h.eng.StartSpan()
 	share := h.Shared != nil && !(tidsByProc != nil && h.BERDFetchByTID)
-	for _, node := range participants {
+	for _, slot := range participants {
+		node := physOf(topo, slot)
 		used[node] = true
 		if share {
-			h.Shared.enqueue(node, relation, pred, kind, qid)
+			h.Shared.enqueue(node, relation, pred, kind, qid, 0, false, epoch)
 			continue
 		}
-		op := startOp{QueryID: qid, Relation: relation, Pred: pred, ReplyTo: h.ID, Access: kind}
+		op := startOp{QueryID: qid, Relation: relation, Pred: pred, ReplyTo: h.ID, Access: kind, Epoch: epoch}
 		if tidsByProc != nil && h.BERDFetchByTID {
 			op.Access = AccessTIDFetch
-			op.TIDs = tidsByProc[node]
+			op.TIDs = tidsByProc[slot]
 		}
 		h.net.Send(p, nil, hw.Message{
 			From: h.ID, To: node, Bytes: controlBytes,
@@ -432,9 +501,15 @@ func (h *Host) submitSelect(p *sim.Proc, relation string, pred core.Predicate, k
 		})
 	}
 	for i := 0; i < len(participants); i++ {
-		or := waitFor[opResult](p, mb)
+		or, err := waitReply[opResult](p, mb)
+		if err != nil {
+			res.Err = err
+			res.Outcome = OutcomeFailed
+			res.Completed = p.Now()
+			return res
+		}
 		res.Tuples += or.Tuples
-		res.ServedBy = append(res.ServedBy, ServedOp{Fragment: or.Node, Node: or.Node, Tuples: or.Tuples})
+		res.ServedBy = append(res.ServedBy, ServedOp{Fragment: slotOf(topo, or.Node), Node: or.Node, Tuples: or.Tuples})
 	}
 
 	res.ProcessorsUsed = len(used)
@@ -460,6 +535,23 @@ func waitFor[T any](p *sim.Proc, mb *sim.Mailbox[any]) T {
 	for {
 		if v, ok := mb.Get(p).(T); ok {
 			return v
+		}
+	}
+}
+
+// waitReply is waitFor plus error surfacing: an opError reply (e.g. a
+// node refusing a placement epoch outside its dual-read window) fails the
+// query instead of being silently discarded — the legacy scheduler has no
+// retry machinery, so a refused operator can never be answered.
+func waitReply[T any](p *sim.Proc, mb *sim.Mailbox[any]) (T, error) {
+	for {
+		v := mb.Get(p)
+		if r, ok := v.(T); ok {
+			return r, nil
+		}
+		if e, ok := v.(opError); ok {
+			var zero T
+			return zero, fmt.Errorf("node %d: %s", e.Node, e.Msg)
 		}
 	}
 }

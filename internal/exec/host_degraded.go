@@ -49,9 +49,12 @@ type Degraded struct {
 	// View is the scheduler's picture of node/disk health, kept current by
 	// the fault injector. Nil means "assume everything available".
 	View *fault.View
-	// Backup maps a primary node to its chained-declustering backup, or -1
-	// when the fragment has no replica.
-	Backup func(node int) int
+	// Backup maps a placement slot to the slot whose node holds its
+	// chained-declustering replica, or -1 when the fragment has no replica.
+	// slots is the slot count of the query's captured topology (0 when no
+	// explicit topology is installed; implementations then use their
+	// build-time node count).
+	Backup func(slot, slots int) int
 	// Jitter randomizes backoff delays (a dedicated rng stream, so enabling
 	// retries perturbs no other stochastic decision in the run).
 	Jitter *rng.Source
@@ -62,19 +65,11 @@ func (d *Degraded) available(node int) bool {
 	return d.View == nil || d.View.Available(node)
 }
 
-// backupOf returns the replica holder for a primary, or -1.
-func (d *Degraded) backupOf(node int) int {
-	if d.Backup == nil {
-		return -1
-	}
-	return d.Backup(node)
-}
-
 // call tracks one logical operator (work against one primary fragment)
 // through dispatch, retries, and replica rerouting.
 type call struct {
-	primary   int  // node whose fragment the work targets
-	target    int  // node the live attempt was sent to
+	primary   int  // placement slot whose fragment the work targets
+	target    int  // physical node the live attempt was sent to
 	attempt   int  // query-unique id of the live attempt
 	retries   int  // redispatches so far
 	useBackup bool // current replica preference
@@ -86,11 +81,16 @@ type call struct {
 // chained-replica rerouting, and at-most-once accounting (stale or
 // duplicated replies are dropped by attempt id).
 type collector struct {
-	h         *Host
-	d         *Degraded
-	p         *sim.Proc
-	mb        *sim.Mailbox[any]
-	deadline  sim.Time
+	h        *Host
+	d        *Degraded
+	p        *sim.Proc
+	mb       *sim.Mailbox[any]
+	deadline sim.Time
+	// topo/epoch are the query's captured placement generation: slots
+	// resolve to physical nodes through topo for every dispatch, including
+	// retries that straddle a rebalance cutover.
+	topo      []int
+	epoch     int
 	calls     []*call
 	byAttempt map[int]*call
 	used      map[int]bool
@@ -102,31 +102,46 @@ type collector struct {
 }
 
 func newCollector(h *Host, p *sim.Proc, mb *sim.Mailbox[any], deadline sim.Time,
-	primaries []int, used map[int]bool) *collector {
+	topo []int, epoch int, primaries []int, used map[int]bool) *collector {
 	col := &collector{
 		h: h, d: h.Degraded, p: p, mb: mb, deadline: deadline,
+		topo: topo, epoch: epoch,
 		byAttempt: make(map[int]*call, len(primaries)),
 		used:      used,
 	}
-	for _, node := range primaries {
-		col.calls = append(col.calls, &call{primary: node, target: -1})
+	for _, slot := range primaries {
+		col.calls = append(col.calls, &call{primary: slot, target: -1})
 	}
 	return col
 }
 
+// backupOf returns the slot whose node replicates c's fragment, or -1.
+func (col *collector) backupOf(slot int) int {
+	if col.d.Backup == nil {
+		return -1
+	}
+	return col.d.Backup(slot, len(col.topo))
+}
+
 // pickTarget chooses the replica to dispatch to, honoring the call's
 // current preference but falling back to whichever copy is available.
+// After it returns true, c.useBackup reports whether the chosen target
+// holds the backup copy.
 func (col *collector) pickTarget(c *call) (int, bool) {
-	pref, alt := c.primary, col.d.backupOf(c.primary)
+	prefSlot, altSlot := c.primary, col.backupOf(c.primary)
 	if c.useBackup {
-		pref, alt = alt, pref
+		prefSlot, altSlot = altSlot, prefSlot
 	}
-	if pref >= 0 && col.d.available(pref) {
-		return pref, true
+	if prefSlot >= 0 {
+		if phys := physOf(col.topo, prefSlot); col.d.available(phys) {
+			return phys, true
+		}
 	}
-	if alt >= 0 && col.d.available(alt) {
-		c.useBackup = !c.useBackup
-		return alt, true
+	if altSlot >= 0 {
+		if phys := physOf(col.topo, altSlot); col.d.available(phys) {
+			c.useBackup = !c.useBackup
+			return phys, true
+		}
 	}
 	return -1, false
 }
@@ -266,6 +281,7 @@ func (h *Host) executeDegraded(p *sim.Proc, relation string, placement core.Plac
 	d := h.Degraded
 	h.nextQID++
 	qid := h.nextQID
+	topo, epoch := h.topo, h.epoch
 	qspan := h.eng.StartSpan()
 	res := QueryResult{ID: qid, Pred: pred, Submitted: p.Now()}
 	mb := sim.NewMailbox[any](h.eng, fmt.Sprintf("host.q%d", qid))
@@ -307,17 +323,17 @@ func (h *Host) executeDegraded(p *sim.Proc, relation string, placement core.Plac
 	if len(route.Aux) > 0 {
 		res.AuxProcessors = len(route.Aux)
 		tidsByProc = make(map[int][]int64)
-		col := newCollector(h, p, mb, deadline, route.Aux, used)
+		col := newCollector(h, p, mb, deadline, topo, epoch, route.Aux, used)
 		col.dispatch = func(c *call) {
 			h.net.Send(p, nil, hw.Message{
 				From: h.ID, To: c.target, Bytes: controlBytes,
 				Payload: auxLookup{QueryID: qid, Relation: relation, Pred: pred,
-					ReplyTo: h.ID, Attempt: c.attempt, Backup: c.target != c.primary},
+					ReplyTo: h.ID, Attempt: c.attempt, Backup: c.useBackup, Epoch: epoch},
 			})
 		}
 		col.accept = func(c *call, msg any) {
 			res.ServedBy = append(res.ServedBy, ServedOp{
-				Fragment: c.primary, Node: c.target, Backup: c.target != c.primary, Aux: true,
+				Fragment: c.primary, Node: c.target, Backup: c.useBackup, Aux: true,
 			})
 			for proc, tids := range msg.(auxResult).TIDsByProc {
 				tidsByProc[proc] = append(tidsByProc[proc], tids...)
@@ -336,10 +352,19 @@ func (h *Host) executeDegraded(p *sim.Proc, relation string, placement core.Plac
 	}
 
 	// Scheduler: one operator per participant, collected under the policy.
-	col := newCollector(h, p, mb, deadline, participants, used)
+	// Non-TID dispatches are eligible for shared-scan batching: each
+	// attempt rides a batch keyed by its replica role and epoch, and the
+	// attempt tag echoed in the batched reply lets the collector drop
+	// stale batch replies exactly as for lone operators.
+	share := h.Shared != nil && !(tidsByProc != nil && h.BERDFetchByTID)
+	col := newCollector(h, p, mb, deadline, topo, epoch, participants, used)
 	col.dispatch = func(c *call) {
+		if share {
+			h.Shared.enqueue(c.target, relation, pred, kind, qid, c.attempt, c.useBackup, epoch)
+			return
+		}
 		op := startOp{QueryID: qid, Relation: relation, Pred: pred, ReplyTo: h.ID,
-			Access: kind, Attempt: c.attempt, Backup: c.target != c.primary}
+			Access: kind, Attempt: c.attempt, Backup: c.useBackup, Epoch: epoch}
 		if tidsByProc != nil && h.BERDFetchByTID {
 			op.Access = AccessTIDFetch
 			op.TIDs = tidsByProc[c.primary]
@@ -352,7 +377,7 @@ func (h *Host) executeDegraded(p *sim.Proc, relation string, placement core.Plac
 		r := msg.(opResult)
 		res.Tuples += r.Tuples
 		res.ServedBy = append(res.ServedBy, ServedOp{
-			Fragment: c.primary, Node: c.target, Backup: c.target != c.primary, Tuples: r.Tuples,
+			Fragment: c.primary, Node: c.target, Backup: c.useBackup, Tuples: r.Tuples,
 		})
 	}
 	outcome, err := col.run()

@@ -47,6 +47,11 @@ type startOp struct {
 	// Backup directs the operator at the node's chained-declustering backup
 	// fragment instead of its primary one.
 	Backup bool
+	// Epoch is the placement generation the query was planned against
+	// (0 when elasticity is off). During a rebalance a node serves the
+	// previous generation's fragments to queries submitted before the
+	// cutover and the new generation's to queries submitted after it.
+	Epoch int
 }
 
 // opResult carries an operator's qualifying tuples back to the scheduler;
@@ -78,6 +83,7 @@ type auxLookup struct {
 	ReplyTo  int
 	Attempt  int
 	Backup   bool
+	Epoch    int // placement generation, as startOp.Epoch
 }
 
 // auxResult returns the home processors (and TIDs) of qualifying tuples.
@@ -95,6 +101,9 @@ type auxResult struct {
 type batchMember struct {
 	QID  int64
 	Pred core.Predicate
+	// Attempt echoes into the member's opResult so the degraded-mode
+	// collector can drop stale batch replies (0 on the legacy path).
+	Attempt int
 }
 
 // batchMemberBytes is the wire size of one batch member (query id +
@@ -110,6 +119,10 @@ type batchOp struct {
 	Access   AccessKind
 	ReplyTo  int
 	Members  []batchMember
+	// Backup and Epoch select the fragment exactly as on startOp; members
+	// only batch within one (backup, epoch) group.
+	Backup bool
+	Epoch  int
 }
 
 // attemptTagged is implemented by result messages that echo their dispatch

@@ -60,6 +60,22 @@ type Node struct {
 	backups    map[string]*storage.Fragment
 	auxBackups map[string]map[int]*storage.AuxFragment
 
+	// Placement generations (elastic membership). gen is the serving
+	// generation; the prev* maps hold the previous generation's layout so
+	// queries planned before a cutover still resolve their fragments
+	// (dual-read), and the staged* maps hold the next generation's layout
+	// between Stage* calls and CutoverPlacement. All nil/zero — and
+	// untouched — when elasticity is off.
+	gen            int
+	prevFrags      map[string]*storage.Fragment
+	prevAux        map[string]map[int]*storage.AuxFragment
+	prevBackups    map[string]*storage.Fragment
+	prevAuxBackups map[string]map[int]*storage.AuxFragment
+	stagedFrags    map[string]*storage.Fragment
+	stagedAux      map[string]map[int]*storage.AuxFragment
+	stagedBackups  map[string]*storage.Fragment
+	stagedAuxBk    map[string]map[int]*storage.AuxFragment
+
 	// Crash state. down fail-silences the node; epoch increments on every
 	// crash so operators started before it suppress their replies.
 	down  bool
@@ -143,6 +159,83 @@ func (n *Node) AddBackupAux(relation string, attr int, aux *storage.AuxFragment)
 	}
 	n.auxBackups[relation][attr] = aux
 }
+
+// StageFragment attaches the node's fragment of a relation in the
+// placement generation being prepared; it starts serving at the next
+// CutoverPlacement.
+func (n *Node) StageFragment(relation string, f *storage.Fragment) {
+	if n.stagedFrags == nil {
+		n.stagedFrags = make(map[string]*storage.Fragment)
+	}
+	if _, dup := n.stagedFrags[relation]; dup {
+		panic(fmt.Sprintf("exec: node %d already staged a fragment of %s", n.ID, relation))
+	}
+	n.stagedFrags[relation] = f
+}
+
+// StageAux attaches a staged auxiliary-relation fragment.
+func (n *Node) StageAux(relation string, attr int, aux *storage.AuxFragment) {
+	if n.stagedAux == nil {
+		n.stagedAux = make(map[string]map[int]*storage.AuxFragment)
+	}
+	if n.stagedAux[relation] == nil {
+		n.stagedAux[relation] = make(map[int]*storage.AuxFragment)
+	}
+	n.stagedAux[relation][attr] = aux
+}
+
+// StageBackupFragment attaches a staged chained-declustering replica.
+func (n *Node) StageBackupFragment(relation string, f *storage.Fragment) {
+	if n.stagedBackups == nil {
+		n.stagedBackups = make(map[string]*storage.Fragment)
+	}
+	n.stagedBackups[relation] = f
+}
+
+// StageBackupAux attaches a staged replica of an auxiliary fragment.
+func (n *Node) StageBackupAux(relation string, attr int, aux *storage.AuxFragment) {
+	if n.stagedAuxBk == nil {
+		n.stagedAuxBk = make(map[string]map[int]*storage.AuxFragment)
+	}
+	if n.stagedAuxBk[relation] == nil {
+		n.stagedAuxBk[relation] = make(map[int]*storage.AuxFragment)
+	}
+	n.stagedAuxBk[relation][attr] = aux
+}
+
+// CutoverPlacement installs the staged generation: the serving layout
+// becomes the previous one (kept so queries planned before this instant
+// still resolve), the staged layout becomes serving, and the generation
+// before that is dropped. Nodes with nothing staged (they hold no data in
+// the new generation — e.g. a decommissioned member) cut over to empty
+// maps. The machine layer calls this on every node at the same sim
+// instant, so the cluster's generation moves atomically.
+func (n *Node) CutoverPlacement(gen int) {
+	if gen != n.gen+1 {
+		panic(fmt.Sprintf("exec: node %d cutover to gen %d from gen %d", n.ID, gen, n.gen))
+	}
+	n.prevFrags, n.frags = n.frags, n.stagedFrags
+	n.prevAux, n.aux = n.aux, n.stagedAux
+	n.prevBackups, n.backups = n.backups, n.stagedBackups
+	n.prevAuxBackups, n.auxBackups = n.auxBackups, n.stagedAuxBk
+	if n.frags == nil {
+		n.frags = make(map[string]*storage.Fragment)
+	}
+	if n.aux == nil {
+		n.aux = make(map[string]map[int]*storage.AuxFragment)
+	}
+	if n.backups == nil {
+		n.backups = make(map[string]*storage.Fragment)
+	}
+	if n.auxBackups == nil {
+		n.auxBackups = make(map[string]map[int]*storage.AuxFragment)
+	}
+	n.stagedFrags, n.stagedAux, n.stagedBackups, n.stagedAuxBk = nil, nil, nil, nil
+	n.gen = gen
+}
+
+// Gen reports the node's serving placement generation.
+func (n *Node) Gen() int { return n.gen }
 
 // heatKey addresses one of the node's fragment heat accumulators.
 type heatKey struct {
@@ -238,16 +331,60 @@ func (n *Node) fragment(relation string) *storage.Fragment {
 
 // fragmentFor resolves the primary or backup fragment for a request,
 // reporting an error (rather than panicking) so misrouted degraded-mode
-// work surfaces as a query failure.
-func (n *Node) fragmentFor(relation string, backup bool) (*storage.Fragment, error) {
-	m := n.frags
-	if backup {
-		m = n.backups
+// work surfaces as a query failure. epoch selects the placement
+// generation: the serving one, or — during the dual-read window after a
+// rebalance cutover — the previous one for queries planned before it.
+func (n *Node) fragmentFor(relation string, backup bool, epoch int) (*storage.Fragment, error) {
+	var m map[string]*storage.Fragment
+	switch {
+	case epoch == n.gen:
+		if backup {
+			m = n.backups
+		} else {
+			m = n.frags
+		}
+	case epoch == n.gen-1:
+		if backup {
+			m = n.prevBackups
+		} else {
+			m = n.prevFrags
+		}
+	default:
+		return nil, fmt.Errorf("exec: node %d cannot serve placement epoch %d at generation %d",
+			n.ID, epoch, n.gen)
 	}
 	if f := m[relation]; f != nil {
 		return f, nil
 	}
-	return nil, fmt.Errorf("exec: node %d has no %s of relation %q", n.ID, fragKind(backup), relation)
+	return nil, fmt.Errorf("exec: node %d has no %s of relation %q at epoch %d",
+		n.ID, fragKind(backup), relation, epoch)
+}
+
+// auxFor resolves an auxiliary fragment the same way.
+func (n *Node) auxFor(relation string, attr int, backup bool, epoch int) (*storage.AuxFragment, error) {
+	var m map[string]map[int]*storage.AuxFragment
+	switch {
+	case epoch == n.gen:
+		if backup {
+			m = n.auxBackups
+		} else {
+			m = n.aux
+		}
+	case epoch == n.gen-1:
+		if backup {
+			m = n.prevAuxBackups
+		} else {
+			m = n.prevAux
+		}
+	default:
+		return nil, fmt.Errorf("exec: node %d cannot serve placement epoch %d at generation %d",
+			n.ID, epoch, n.gen)
+	}
+	if aux := m[relation][attr]; aux != nil {
+		return aux, nil
+	}
+	return nil, fmt.Errorf("exec: node %d has no %s aux relation for %q attr %d at epoch %d",
+		n.ID, fragKind(backup), relation, attr, epoch)
 }
 
 func fragKind(backup bool) string {
@@ -367,7 +504,7 @@ func (n *Node) runSelect(p *sim.Proc, req startOp) {
 
 // selectAccess resolves the fragment and runs the requested access method.
 func (n *Node) selectAccess(req startOp) (storage.Access, error) {
-	frag, err := n.fragmentFor(req.Relation, req.Backup)
+	frag, err := n.fragmentFor(req.Relation, req.Backup, req.Epoch)
 	if err != nil {
 		return storage.Access{}, err
 	}
@@ -395,17 +532,34 @@ func accessFor(frag *storage.Fragment, kind AccessKind, pred core.Predicate, tid
 // traces is replayed against the buffer pool reading each distinct page
 // once, and per-member qualification CPU is charged in full — the disk pass
 // is shared, the processing is not. Members are answered in admission
-// order. Shared batches run only on the legacy fault-free path, so access
-// errors panic like the aggregate/join operators rather than degrading a
-// single query.
+// order. Under the degraded scheduler a batch may target a backup fragment
+// or arrive misrouted after a repair, so resolution and page-read failures
+// fan out as one opError per member (each tagged with that member's
+// dispatch attempt) instead of panicking; the collectors then retry or
+// reroute the members individually.
 func (n *Node) runSharedBatch(p *sim.Proc, req batchOp) {
 	epoch := n.epoch
 	span := n.eng.StartSpan()
-	h := n.heatFor(req.Relation, false)
-	frag := n.fragment(req.Relation)
+	h := n.heatFor(req.Relation, req.Backup)
+	fail := func(err error) {
+		for _, m := range req.Members {
+			n.sendError(p, epoch, m.QID, req.ReplyTo, m.Attempt, err)
+		}
+		if span.Active() {
+			span.End(n.ID, "op", "shared select "+req.Access.String()+" failed", 0, err.Error())
+		}
+	}
+	frag, err := n.fragmentFor(req.Relation, req.Backup, req.Epoch)
+	if err != nil {
+		fail(err)
+		return
+	}
 	accs := make([]storage.Access, len(req.Members))
 	for i, m := range req.Members {
-		accs[i] = mustAccess(accessFor(frag, req.Access, m.Pred, nil))
+		if accs[i], err = accessFor(frag, req.Access, m.Pred, nil); err != nil {
+			fail(err)
+			return
+		}
 	}
 	seen := make(map[int]bool)
 	idxPages, dataPages := 0, 0
@@ -417,7 +571,8 @@ func (n *Node) runSharedBatch(p *sim.Proc, req batchOp) {
 				idxPages++
 				n.SharedPagesRead++
 				if err := n.Pool.ReadHeat(p, pg, h); err != nil {
-					panic(err)
+					fail(err)
+					return
 				}
 			}
 			n.CPU.Execute(p, n.costs.IndexPageInstr)
@@ -429,7 +584,8 @@ func (n *Node) runSharedBatch(p *sim.Proc, req batchOp) {
 				dataPages++
 				n.SharedPagesRead++
 				if err := n.Pool.ReadHeat(p, pg, h); err != nil {
-					panic(err)
+					fail(err)
+					return
 				}
 			}
 			n.CPU.Execute(p, n.params.ReadPageInstr)
@@ -448,10 +604,10 @@ func (n *Node) runSharedBatch(p *sim.Proc, req batchOp) {
 		batchBytes += int64(bytes)
 		n.send(p, epoch, hw.Message{
 			From: n.ID, To: req.ReplyTo, Bytes: bytes,
-			Payload: opResult{QueryID: m.QID, Node: n.ID, Tuples: tuples},
+			Payload: opResult{QueryID: m.QID, Node: n.ID, Tuples: tuples, Attempt: m.Attempt},
 		})
 	}
-	h.Account(idxPages, dataPages, batchBytes, false)
+	h.Account(idxPages, dataPages, batchBytes, req.Backup)
 	if span.Active() {
 		span.End(n.ID, "op", "shared select "+req.Access.String(), 0,
 			fmt.Sprintf("%d members, %d pages", len(req.Members), idxPages+dataPages))
@@ -464,21 +620,13 @@ func (n *Node) runAuxLookup(p *sim.Proc, req auxLookup) {
 	p.SetQID(req.QueryID)
 	epoch := n.epoch
 	span := n.eng.StartSpan()
-	auxes := n.aux
-	if req.Backup {
-		auxes = n.auxBackups
-	}
-	aux := auxes[req.Relation][req.Pred.Attr]
+	aux, err := n.auxFor(req.Relation, req.Pred.Attr, req.Backup, req.Epoch)
 	h := n.auxHeat(req.Relation)
 	fspan := n.eng.StartSpan()
-	var err error
 	var procs []int
 	var tids []int64
 	var pages []int
-	if aux == nil {
-		err = fmt.Errorf("exec: node %d has no %s aux relation for %q attr %d",
-			n.ID, fragKind(req.Backup), req.Relation, req.Pred.Attr)
-	} else {
+	if err == nil {
 		procs, tids, pages = aux.Lookup(req.Pred.Lo, req.Pred.Hi)
 		for _, pg := range pages {
 			if err = n.Pool.ReadHeat(p, pg, h); err != nil {

@@ -58,13 +58,19 @@ func (s SharingStats) String() string {
 }
 
 // shareKey identifies one open batch: selections group when they target the
-// same fragment (node, relation) with the same access method. Predicates
-// within a group may differ — the disk pass covers their union.
+// same fragment (node, relation) with the same access method, the same
+// replica role, and the same placement epoch — a backup-rerouted retry or
+// a pre-cutover query must not share a disk pass with operators reading a
+// different physical fragment. Predicates within a group may differ — the
+// disk pass covers their union. backup and epoch stay zero-valued on the
+// legacy fault-free path, leaving its grouping unchanged.
 type shareKey struct {
 	node     int
 	relation string
 	attr     int
 	access   AccessKind
+	backup   bool
+	epoch    int
 }
 
 // shareBatch is one open predicate group awaiting its window flush.
@@ -86,12 +92,10 @@ type SharedScans struct {
 
 // EnableSharing arms the shared-scan manager with the given batching
 // window: the first selection to open a batch waits at most window before
-// the batch is dispatched. Sharing requires the legacy scheduling path
-// (mutually exclusive with Host.Degraded).
+// the batch is dispatched. Sharing composes with the degraded scheduler:
+// dispatches carry their attempt tag into the batch, replies echo it, and
+// the collectors drop stale batch replies exactly as for lone operators.
 func (h *Host) EnableSharing(window sim.Duration) *SharedScans {
-	if h.Degraded != nil {
-		panic("exec: shared scans require the legacy scheduler (Host.Degraded must be nil)")
-	}
 	if window <= 0 {
 		panic(fmt.Sprintf("exec: non-positive sharing window %v", window))
 	}
@@ -115,8 +119,10 @@ func (s *SharedScans) ResetStats() { s.stats = SharingStats{} }
 // group — and scheduling its window flush — if it is the first. Admission
 // order within a batch is the coordinators' arrival order, which the node
 // preserves when replying, so per-query results are reproducible.
-func (s *SharedScans) enqueue(node int, relation string, pred core.Predicate, access AccessKind, qid int64) {
-	k := shareKey{node: node, relation: relation, attr: pred.Attr, access: access}
+func (s *SharedScans) enqueue(node int, relation string, pred core.Predicate, access AccessKind,
+	qid int64, attempt int, backup bool, epoch int) {
+	k := shareKey{node: node, relation: relation, attr: pred.Attr, access: access,
+		backup: backup, epoch: epoch}
 	b := s.open[k]
 	if b == nil {
 		b = &shareBatch{key: k}
@@ -126,7 +132,7 @@ func (s *SharedScans) enqueue(node int, relation string, pred core.Predicate, ac
 			s.flush(fp, b)
 		})
 	}
-	b.members = append(b.members, batchMember{QID: qid, Pred: pred})
+	b.members = append(b.members, batchMember{QID: qid, Pred: pred, Attempt: attempt})
 }
 
 // flush closes the batch and ships it to the node as one shared operator.
@@ -141,6 +147,7 @@ func (s *SharedScans) flush(fp *sim.Proc, b *shareBatch) {
 		Payload: batchOp{
 			Relation: b.key.relation, Access: b.key.access,
 			ReplyTo: s.h.ID, Members: b.members,
+			Backup: b.key.backup, Epoch: b.key.epoch,
 		},
 	})
 }

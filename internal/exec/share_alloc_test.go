@@ -22,10 +22,10 @@ func TestSharedEnqueueAllocs(t *testing.T) {
 
 	// First member opens the batch and spawns the flusher — not the path
 	// under test.
-	s.enqueue(0, rel.Name, pred, AccessClustered, 1)
+	s.enqueue(0, rel.Name, pred, AccessClustered, 1, 0, false, 0)
 	qid := int64(2)
 	avg := testing.AllocsPerRun(2000, func() {
-		s.enqueue(0, rel.Name, pred, AccessClustered, qid)
+		s.enqueue(0, rel.Name, pred, AccessClustered, qid, 0, false, 0)
 		qid++
 	})
 	if avg > 1 {

@@ -276,15 +276,62 @@ func TestSubmitAggregatePlan(t *testing.T) {
 	}
 }
 
-// TestSharingExcludedFromDegraded: arming both schedulers is a wiring bug.
-func TestSharingExcludedFromDegraded(t *testing.T) {
-	rel := storage.GenerateWisconsin(storage.GenSpec{Cardinality: 200, Seed: 9})
-	r := newRig(t, core.NewRangeForRelation(rel, storage.Unique1, 2))
-	r.host.Degraded = &Degraded{Policy: DefaultRetryPolicy()}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("EnableSharing with Degraded armed should panic")
-		}
-	}()
+// Sharing composes with the degraded scheduler: dispatches ride batches
+// tagged with their attempt epoch, so a healthy run answers exactly like
+// the lone-operator path.
+func TestSharingComposesWithDegradedHealthy(t *testing.T) {
+	r := newDegradedRig(t)
+	s := r.host.EnableSharing(sim.Millisecond)
+	res := r.execute(t)
+	if res.Tuples != 20 {
+		t.Fatalf("got %d tuples, want 20", res.Tuples)
+	}
+	if !res.Outcome.Succeeded() || res.Retries != 0 {
+		t.Fatalf("outcome = %v retries = %d, want clean success", res.Outcome, res.Retries)
+	}
+	if st := s.Stats(); st.Batches == 0 || st.BatchedOps != 2 {
+		t.Fatalf("sharing stats = %+v, want both operators batched", st)
+	}
+}
+
+// A transient disk error under sharing: the failed member's error reply
+// carries its attempt tag, the collector retries it through a fresh batch,
+// and the query completes without double-counting — the stale-reply
+// discipline for batches matches the lone-operator one.
+func TestSharingComposesWithDegradedTransientFault(t *testing.T) {
+	r := newDegradedRig(t)
 	r.host.EnableSharing(sim.Millisecond)
+	r.disks[0].FailNextReads(1)
+	res := r.execute(t)
+	if res.Tuples != 20 {
+		t.Fatalf("got %d tuples, want 20 exactly once", res.Tuples)
+	}
+	if !res.Outcome.Succeeded() {
+		t.Fatalf("outcome = %v, err = %v", res.Outcome, res.Err)
+	}
+	if res.Retries == 0 {
+		t.Fatal("transient error should have cost at least one retry")
+	}
+}
+
+// A batch reply that arrives after its member timed out and was retried:
+// the reply's stale attempt tag must make the collector drop it rather
+// than double-count. A crash-restart window forces exactly that — the
+// crashed node's first batch never answers, the retry reroutes, and any
+// late replies from the restarted node are stale by epoch.
+func TestSharingDropsStaleBatchReplies(t *testing.T) {
+	r := newDegradedRig(t)
+	r.host.EnableSharing(sim.Millisecond)
+	r.eng.Schedule(0, func() { r.nodes[0].Crash() })
+	r.eng.Schedule(sim.Second, func() {
+		r.nodes[0].Restart()
+		r.view.SetNode(0, true)
+	})
+	res := r.execute(t)
+	if res.Tuples != 20 {
+		t.Fatalf("got %d tuples, want 20 exactly once", res.Tuples)
+	}
+	if !res.Outcome.Succeeded() {
+		t.Fatalf("outcome = %v, err = %v", res.Outcome, res.Err)
+	}
 }

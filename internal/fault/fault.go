@@ -232,6 +232,11 @@ type Injector struct {
 
 	log     []Record
 	faultsC *obs.Counter
+
+	// OnEvent, when non-nil, observes every applied fault event after its
+	// effect has taken hold. The machine layer uses it to promote permanent
+	// node failures into rebalancer repair tasks.
+	OnEvent func(Event)
 }
 
 // NewInjector builds an injector. streams supplies the MTBF processes'
@@ -346,6 +351,9 @@ func (in *Injector) apply(ev Event) {
 		detail = fmt.Sprintf("next %d msgs", ev.count())
 	}
 	in.record(ev.Kind, ev.Node, detail)
+	if in.OnEvent != nil {
+		in.OnEvent(ev)
+	}
 }
 
 // record appends to the fault-event log and mirrors the fault into metrics

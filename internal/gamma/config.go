@@ -31,6 +31,13 @@ func WithSharing(spec SharingSpec) Option {
 	return func(c *Config) { s := spec; c.Sharing = &s }
 }
 
+// WithElastic arms elastic cluster membership: planned join/leave/
+// decommission events, throttled fragment rebalancing, and promotion of
+// permanent node crashes into repair tasks.
+func WithElastic(spec ElasticSpec) Option {
+	return func(c *Config) { s := spec; c.Elastic = &s }
+}
+
 // WithFaults arms the deterministic fault injector (and degraded-mode
 // scheduling).
 func WithFaults(spec *fault.Spec) Option {
@@ -83,8 +90,8 @@ func (c *Config) Validate(processors int) error {
 	if err := c.Sharing.validate(); err != nil {
 		return err
 	}
-	if c.Sharing != nil && c.degradedMode() {
-		return fmt.Errorf("gamma: shared scans require the legacy scheduler; disable Faults and ChainedReplicas")
+	if err := c.Elastic.validate(processors); err != nil {
+		return err
 	}
 	return nil
 }

@@ -1,0 +1,304 @@
+package gamma
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/rebalance"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// ElasticSpec arms elastic cluster membership: a planned schedule of node
+// joins/leaves/decommissions executed by a rebalance.Controller as
+// stage → throttled background copy → atomic cutover, plus promotion of
+// permanent node crashes (fault events with Dur == 0) into repair tasks.
+// Nil (the default) builds no standby nodes, installs no controller, and
+// leaves the simulation schedule byte-identical to a build without
+// elasticity support.
+type ElasticSpec struct {
+	// Events is the planned membership schedule, offsets ascending. Join
+	// events draw standby physical ids in order; the machine builds one
+	// standby node per Join beyond the initial membership.
+	Events []rebalance.Event
+	// RatePagesPerSec throttles the background copier; <= 0 selects
+	// rebalance.DefaultRatePagesPerSec.
+	RatePagesPerSec int
+	// Rebuild produces a relation's placement for a new processor count.
+	// Required: every transition rebuilds each relation's placement from
+	// scratch at the new membership size, which is what makes the
+	// post-rebalance layout provably equal to a from-scratch build.
+	Rebuild func(rel *storage.Relation, procs int) (core.Placement, error)
+}
+
+// validate checks the schedule against the initial membership.
+func (s *ElasticSpec) validate(processors int) error {
+	if s == nil {
+		return nil
+	}
+	if s.Rebuild == nil {
+		return fmt.Errorf("gamma: elastic spec requires a Rebuild placement factory")
+	}
+	sched := rebalance.Schedule{Events: s.Events}
+	return sched.Validate(processors)
+}
+
+// schedule returns the validated rebalance schedule.
+func (s *ElasticSpec) schedule() rebalance.Schedule {
+	return rebalance.Schedule{Events: s.Events}
+}
+
+// rate returns the copier throttle.
+func (s *ElasticSpec) rate() int {
+	if s.RatePagesPerSec > 0 {
+		return s.RatePagesPerSec
+	}
+	return rebalance.DefaultRatePagesPerSec
+}
+
+// elasticIO adapts the copier's page I/O onto the machine: reads go
+// through the source node's buffer pool (migration competes for — and
+// warms — the cache exactly like a query scan), writes go straight to the
+// destination disk. Neither touches the node process, so a crashed node's
+// disk remains readable — a node crash is not a disk failure, which is
+// what lets repair drain a dead member's data.
+type elasticIO struct {
+	nodes []*exec.Node
+}
+
+func (io elasticIO) ReadPage(p *sim.Proc, node, page int) error {
+	return io.nodes[node].Pool.Read(p, page)
+}
+
+func (io elasticIO) WritePage(p *sim.Proc, node, page int) error {
+	return io.nodes[node].Disk.Write(p, page)
+}
+
+// stagedRelation is one relation's next-generation layout, computed at
+// Prepare and committed at Cutover.
+type stagedRelation struct {
+	placement  core.Placement
+	fragTuples map[int][]storage.Tuple
+	auxByAttr  map[int]map[int][]storage.AuxEntry
+}
+
+// elasticExec implements rebalance.Executor over the machine: Prepare
+// stages the complete next-generation layout on the member nodes (old
+// generation keeps serving) and returns the minimal page-move plan;
+// Cutover atomically installs it everywhere. Both run on the controller's
+// process between sim yields.
+type elasticExec struct {
+	m *Machine
+	// topo maps placement slot -> physical node for the serving
+	// generation; starts as the identity over the initial membership.
+	topo []int
+	// staged holds each relation's next-generation layout between Prepare
+	// and Cutover, keyed by relation name.
+	staged map[string]*stagedRelation
+}
+
+// Prepare rebuilds every relation's placement at the new membership size,
+// stages fragments/indexes (and chain replicas) on the member nodes, and
+// returns the move plan. Only tuples whose physical home changes cost
+// I/O: same-node re-layout is free (the disk already holds the data;
+// rewriting it in place is not the scarce resource the model charges), and
+// BERD auxiliary rebuilds are likewise uncharged — both approximations are
+// documented in DESIGN.md §13.
+func (x *elasticExec) Prepare(t rebalance.Transition) (rebalance.Plan, error) {
+	m := x.m
+	cfg := m.Cfg
+	nNew := len(t.Members)
+	x.staged = make(map[string]*stagedRelation, len(m.relations))
+	var plan rebalance.Plan
+	for _, entry := range m.relations {
+		newPl, err := cfg.Elastic.Rebuild(entry.rel, nNew)
+		if err != nil {
+			return rebalance.Plan{}, fmt.Errorf("gamma: rebuild %s at %d nodes: %w", entry.rel.Name, nNew, err)
+		}
+		if newPl.Processors() != nNew {
+			return rebalance.Plan{}, fmt.Errorf("gamma: rebuild %s returned a %d-processor placement, want %d",
+				entry.rel.Name, newPl.Processors(), nNew)
+		}
+		ne, err := distribute(entry.rel, newPl)
+		if err != nil {
+			return rebalance.Plan{}, err
+		}
+		x.staged[entry.rel.Name] = &stagedRelation{
+			placement:  newPl,
+			fragTuples: ne.fragTuples,
+			auxByAttr:  ne.auxByAttr,
+		}
+
+		// Locate every tuple's serving copy: old slot -> physical node via
+		// the current topology, page via the fragment layout.
+		type loc struct{ node, page int }
+		oldLoc := make(map[int64]loc, len(entry.rel.Tuples))
+		for _, phys := range x.topo {
+			frag := m.Nodes[phys].Fragment(entry.rel.Name)
+			if frag == nil {
+				continue
+			}
+			for i, tup := range frag.Tuples {
+				oldLoc[tup.TID] = loc{node: phys, page: frag.DataPageOfSlot(i)}
+			}
+		}
+
+		// Stage the next generation's primary fragments and collect the
+		// tuples whose physical home changes.
+		var moves []rebalance.TupleMove
+		newFrags := make([]*storage.Fragment, nNew)
+		for slot := 0; slot < nNew; slot++ {
+			phys := t.Members[slot]
+			alloc := m.allocs[phys]
+			frag := storage.BuildFragment(slot, ne.fragTuples[slot], cfg.ClusteredAttr, cfg.Layout, alloc)
+			frag.AddIndex(cfg.ClusteredAttr, alloc)
+			for _, a := range cfg.NonClusteredAttrs {
+				frag.AddIndex(a, alloc)
+			}
+			m.Nodes[phys].StageFragment(entry.rel.Name, frag)
+			m.attachFragHeat(entry.rel.Name, phys, frag, false)
+			newFrags[slot] = frag
+			for i, tup := range frag.Tuples {
+				old, ok := oldLoc[tup.TID]
+				if !ok {
+					return rebalance.Plan{}, fmt.Errorf("gamma: tuple %d of %s has no serving copy", tup.TID, entry.rel.Name)
+				}
+				if old.node == phys {
+					continue // same-node re-layout: no cross-node I/O
+				}
+				moves = append(moves, rebalance.TupleMove{
+					Src: old.node, Dst: phys,
+					SrcPage: old.page, DstPage: frag.DataPageOfSlot(i),
+				})
+			}
+			for attr, perProc := range ne.auxByAttr {
+				aux := storage.BuildAux(slot, perProc[slot], cfg.Layout, alloc)
+				m.Nodes[phys].StageAux(entry.rel.Name, attr, aux)
+				m.attachAuxHeat(entry.rel.Name, phys, aux)
+			}
+		}
+		plan.Merge(rebalance.BuildPlan(moves))
+
+		// Chain replicas for the new membership: rebuild every slot's
+		// backup on its chain successor's physical node. The replica copy
+		// reads the staged primary's data pages — the planner appends these
+		// moves after the primaries, and the copier runs moves in plan
+		// order, so the primary pages have landed first.
+		if cfg.ChainedReplicas {
+			var repl []rebalance.TupleMove
+			for slot := 0; slot < nNew; slot++ {
+				b := core.ChainBackup(slot, nNew)
+				if b < 0 {
+					continue
+				}
+				phys := t.Members[b]
+				alloc := m.allocs[phys]
+				frag := storage.BuildFragment(slot, ne.fragTuples[slot], cfg.ClusteredAttr, cfg.Layout, alloc)
+				frag.AddIndex(cfg.ClusteredAttr, alloc)
+				for _, a := range cfg.NonClusteredAttrs {
+					frag.AddIndex(a, alloc)
+				}
+				m.Nodes[phys].StageBackupFragment(entry.rel.Name, frag)
+				m.attachFragHeat(entry.rel.Name, phys, frag, true)
+				src := t.Members[slot]
+				primary := newFrags[slot]
+				for i := range frag.Tuples {
+					repl = append(repl, rebalance.TupleMove{
+						Src: src, Dst: phys,
+						SrcPage: primary.DataPageOfSlot(i), DstPage: frag.DataPageOfSlot(i),
+					})
+				}
+				for attr, perProc := range ne.auxByAttr {
+					aux := storage.BuildAux(slot, perProc[slot], cfg.Layout, alloc)
+					m.Nodes[phys].StageBackupAux(entry.rel.Name, attr, aux)
+					m.attachAuxHeat(entry.rel.Name, phys, aux)
+				}
+			}
+			plan.Merge(rebalance.BuildPlan(repl))
+		}
+	}
+	return plan, nil
+}
+
+// Cutover installs the staged generation: every node flips its placement
+// maps, the host repoints each relation at its new placement and adopts
+// the new slot->node topology, and the machine's relation entries advance
+// so a subsequent Prepare plans from the new layout.
+func (x *elasticExec) Cutover(t rebalance.Transition) {
+	m := x.m
+	for _, n := range m.Nodes {
+		n.CutoverPlacement(t.Gen)
+	}
+	for _, entry := range m.relations {
+		ne := x.staged[entry.rel.Name]
+		entry.placement = ne.placement
+		entry.fragTuples = ne.fragTuples
+		entry.auxByAttr = ne.auxByAttr
+		m.Host.SetPlacement(entry.rel.Name, ne.placement)
+	}
+	m.Host.SetTopology(append([]int(nil), t.Members...), t.Gen)
+	x.topo = append([]int(nil), t.Members...)
+	x.staged = nil
+}
+
+// attachFragHeat wires a staged fragment into the heat map (no-op when
+// heat accounting is off). The accumulator is keyed by physical node, so
+// a fragment migrating between nodes shows up as heat moving with it —
+// which is what keeps querytrace -frags and plan explain in agreement
+// mid-rebalance.
+func (m *Machine) attachFragHeat(relation string, phys int, frag *storage.Fragment, backup bool) {
+	if m.Heat == nil {
+		return
+	}
+	kind := obs.FragPrimary
+	if backup {
+		kind = obs.FragBackup
+	}
+	fh := m.Heat.Frag(relation, phys, kind)
+	fh.AddSize(int64(frag.FootprintPages()))
+	m.Nodes[phys].AttachHeat(relation, kind, fh)
+}
+
+// attachAuxHeat does the same for a staged BERD auxiliary.
+func (m *Machine) attachAuxHeat(relation string, phys int, aux *storage.AuxFragment) {
+	if m.Heat == nil {
+		return
+	}
+	ah := m.Heat.Frag(relation, phys, obs.FragAux)
+	ah.AddSize(int64(aux.FootprintPages()))
+	m.Nodes[phys].AttachHeat(relation, obs.FragAux, ah)
+}
+
+// registerRebalanceSeries adds migration telemetry to the sampler: the
+// live copy backlog (gauge, pages), cumulative pages and bytes copied
+// (windowed rates), and the copy error count. Probes read the copier's
+// counters directly — sampling runs on the same sim clock as the copy
+// process, so no synchronization is needed.
+func registerRebalanceSeries(s *obs.Sampler, cp *rebalance.Copier) {
+	s.Register("rebalance.backlog_pages", obs.SeriesGauge, func() float64 {
+		return float64(cp.Backlog)
+	})
+	s.Register("rebalance.pages_copied", obs.SeriesRate, func() float64 {
+		return float64(cp.PagesCopied)
+	})
+	s.Register("rebalance.bytes_copied", obs.SeriesRate, func() float64 {
+		return float64(cp.BytesCopied)
+	})
+	s.Register("rebalance.copy_errors", obs.SeriesGauge, func() float64 {
+		return float64(cp.Errors)
+	})
+}
+
+// promoteCrashes adapts the fault injector's event stream into repair
+// requests: a NodeCrash with no restart duration is a permanent failure,
+// which the controller turns into an unplanned membership removal.
+func promoteCrashes(ctl *rebalance.Controller) func(fault.Event) {
+	return func(ev fault.Event) {
+		if ev.Kind == fault.NodeCrash && ev.Dur == 0 {
+			ctl.RequestRepair(ev.Node)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/hw"
 	"repro/internal/obs"
+	"repro/internal/rebalance"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/storage"
@@ -61,9 +62,18 @@ type Config struct {
 	// selections hitting the same fragment within the batching window are
 	// predicate-grouped into one disk pass (exec.SharedScans), and results
 	// carry SharingStats. Nil (the default) leaves the simulation schedule
-	// byte-identical to a build without sharing support. Mutually
-	// exclusive with Faults/ChainedReplicas (Validate enforces it).
+	// byte-identical to a build without sharing support. Composes with
+	// Faults/ChainedReplicas: batches are tagged with their members'
+	// attempt epochs, so the degraded scheduler drops stale batch replies
+	// the same way it drops stale lone-operator replies.
 	Sharing *SharingSpec
+	// Elastic, when non-nil, arms elastic cluster membership: the machine
+	// builds one standby node per scheduled Join, installs a
+	// rebalance.Controller that executes the membership schedule as
+	// stage → throttled copy → atomic cutover, and promotes permanent node
+	// crashes into repair tasks. Nil (the default) leaves the simulation
+	// schedule byte-identical to a build without elasticity support.
+	Elastic *ElasticSpec
 	// Seed drives all machine-level randomness (disk latencies, workload).
 	Seed int64
 
@@ -137,8 +147,16 @@ type Machine struct {
 	// set (rebuilt on every reset). Run/RunServe reset it at the warm-up
 	// boundary and snapshot it into the result.
 	Heat *obs.HeatMap
+	// Rebalancer is the elastic membership controller, non-nil when
+	// Cfg.Elastic is set (rebuilt on every reset). Run/RunServe snapshot
+	// its report into the result.
+	Rebalancer *rebalance.Controller
 
 	relations []*relationEntry
+	// allocs are the per-physical-node page allocators, retained so
+	// elastic transitions can stage next-generation fragments on the same
+	// disks the build laid out.
+	allocs []*storage.Allocator
 }
 
 // distribute assigns every tuple its home processor and builds the BERD
@@ -221,25 +239,32 @@ func (m *Machine) Reset() { m.reset() }
 func (m *Machine) reset() {
 	cfg := m.Cfg
 	p := m.Placement.Processors()
+	// Elasticity builds one standby node per scheduled Join beyond the
+	// initial membership; pPhys is the physical node count. Without an
+	// elastic spec pPhys == p and the layout below is unchanged.
+	pPhys := p
+	if cfg.Elastic != nil {
+		pPhys += cfg.Elastic.schedule().Joins()
+	}
 	eng := sim.New()
 	if cfg.Metrics {
 		eng.SetMetrics(obs.NewRegistry())
 	}
 	streams := rng.NewFactory(cfg.Seed)
 
-	// Operator nodes carry CPUs; the host endpoint (index p) is an
+	// Operator nodes carry CPUs; the host endpoint (index pPhys) is an
 	// uncharged coordination module per Figure 7 (nil CPU).
-	cpus := make([]*hw.CPU, p+1)
-	for i := 0; i < p; i++ {
+	cpus := make([]*hw.CPU, pPhys+1)
+	for i := 0; i < pPhys; i++ {
 		cpus[i] = hw.NewCPU(eng, fmt.Sprintf("cpu%d", i), cfg.HW)
 		cpus[i].SetNode(i)
 	}
 	net := hw.NewNetwork(eng, cfg.HW, cpus)
 
 	cat := catalog.New()
-	nodes := make([]*exec.Node, p)
-	allocs := make([]*storage.Allocator, p)
-	for i := 0; i < p; i++ {
+	nodes := make([]*exec.Node, pPhys)
+	allocs := make([]*storage.Allocator, pPhys)
+	for i := 0; i < pPhys; i++ {
 		disk := hw.NewDisk(eng, fmt.Sprintf("disk%d", i), cfg.HW, cpus[i],
 			streams.Stream(fmt.Sprintf("disk%d", i)))
 		disk.SetNode(i)
@@ -266,7 +291,10 @@ func (m *Machine) reset() {
 			Placement:   entry.placement,
 			Nodes:       make(map[int]catalog.NodeStats, p),
 		}
-		for i, n := range nodes {
+		// Standby nodes (index >= p) start empty: they hold no fragments
+		// until a join transition stages a new generation onto them.
+		for i := 0; i < p; i++ {
+			n := nodes[i]
 			alloc := allocs[i]
 			frag := storage.BuildFragment(i, entry.fragTuples[i], cfg.ClusteredAttr, cfg.Layout, alloc)
 			frag.AddIndex(cfg.ClusteredAttr, alloc)
@@ -312,7 +340,7 @@ func (m *Machine) reset() {
 		// replica holds the same tuples keyed by the same primary home, so a
 		// rerouted operator returns the identical result.
 		if cfg.ChainedReplicas {
-			for i := range nodes {
+			for i := 0; i < p; i++ {
 				b := core.ChainBackup(i, p)
 				if b < 0 {
 					continue
@@ -352,7 +380,7 @@ func (m *Machine) reset() {
 		n.Start()
 	}
 
-	host := exec.NewHost(eng, p, cfg.HW, net, cfg.Costs)
+	host := exec.NewHost(eng, pPhys, cfg.HW, net, cfg.Costs)
 	for _, entry := range m.relations {
 		host.AddRelation(entry.rel.Name, entry.placement)
 	}
@@ -364,14 +392,21 @@ func (m *Machine) reset() {
 	// draws from no extra rng streams: its schedule stays byte-identical.
 	m.Injector, m.View = nil, nil
 	if cfg.degradedMode() {
-		view := fault.NewView(p)
+		view := fault.NewView(pPhys)
 		policy := exec.DefaultRetryPolicy()
 		if cfg.Retry != nil {
 			policy = *cfg.Retry
 		}
-		backup := func(int) int { return -1 }
+		backup := func(int, int) int { return -1 }
 		if cfg.ChainedReplicas {
-			backup = func(node int) int { return core.ChainBackup(node, p) }
+			// slots is the live membership size captured by the collector
+			// (zero on the build-time identity topology, meaning p).
+			backup = func(slot, slots int) int {
+				if slots <= 0 {
+					slots = p
+				}
+				return core.ChainBackup(slot, slots)
+			}
 		}
 		host.Degraded = &exec.Degraded{
 			Policy: policy, View: view, Backup: backup,
@@ -380,8 +415,8 @@ func (m *Machine) reset() {
 		m.View = view
 		if cfg.Faults.Enabled() {
 			targets := fault.Targets{
-				Disks: make([]fault.DiskTarget, p),
-				Nodes: make([]fault.NodeTarget, p),
+				Disks: make([]fault.DiskTarget, pPhys),
+				Nodes: make([]fault.NodeTarget, pPhys),
 				Net:   net,
 			}
 			for i, n := range nodes {
@@ -396,8 +431,7 @@ func (m *Machine) reset() {
 		}
 	}
 
-	// Shared scans: armed only on the legacy fault-free path (Validate
-	// rejects the combination with degraded mode).
+	// Shared scans: compose with degraded mode via attempt-tagged batches.
 	if cfg.Sharing != nil {
 		host.EnableSharing(cfg.Sharing.window())
 	}
@@ -415,4 +449,35 @@ func (m *Machine) reset() {
 	m.Nodes = nodes
 	m.Host = host
 	m.Catalog = cat
+	m.allocs = allocs
+
+	// Elastic membership: the controller process walks the schedule on the
+	// sim clock, staging each transition through elasticExec and copying
+	// pages through the per-node pools/disks at the configured throttle.
+	// Wired last so the executor sees the fully-assembled machine.
+	m.Rebalancer = nil
+	if cfg.Elastic != nil {
+		standbys := make([]int, 0, pPhys-p)
+		for i := p; i < pPhys; i++ {
+			standbys = append(standbys, i)
+		}
+		cp := &rebalance.Copier{
+			IO:              elasticIO{nodes: nodes},
+			RatePagesPerSec: cfg.Elastic.rate(),
+			PageBytes:       cfg.HW.PageSize,
+		}
+		topo := make([]int, p)
+		for i := range topo {
+			topo[i] = i
+		}
+		ctl := rebalance.NewController(eng, cfg.Elastic.schedule(), p, standbys, &elasticExec{m: m, topo: topo}, cp)
+		ctl.Start()
+		m.Rebalancer = ctl
+		if m.Injector != nil {
+			m.Injector.OnEvent = promoteCrashes(ctl)
+		}
+		if m.Telemetry != nil {
+			registerRebalanceSeries(m.Telemetry, cp)
+		}
+	}
 }

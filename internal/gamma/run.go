@@ -7,6 +7,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/plan"
+	"repro/internal/rebalance"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -115,6 +116,10 @@ type RunResult struct {
 	// Sharing is the shared-scan manager's tally when Config.Sharing is
 	// armed (counters cover the measurement window only).
 	Sharing *exec.SharingStats `json:"sharing,omitempty"`
+	// Rebalance is the membership controller's history when Config.Elastic
+	// is armed: every executed (or refused) transition with its staging,
+	// copy and cutover timestamps plus the data volume moved.
+	Rebalance *rebalance.Report `json:"rebalance,omitempty"`
 
 	// Degraded-mode accounting. Outcomes tallies every completion in the
 	// window (Completed and the response statistics cover only the
@@ -270,6 +275,7 @@ func (m *Machine) Run(mix workload.Mix, spec RunSpec) (RunResult, error) {
 		out.HotFragments = out.Heat.HotFragments()
 	}
 	out.Sharing = m.sharingStats()
+	out.Rebalance = m.rebalanceReport()
 	mean, _ := resp.Interval(10)
 	out.MeanResponseMS = mean
 	out.P95ResponseMS = resp.Percentile(95)
@@ -359,6 +365,16 @@ func (m *Machine) resetStats() {
 // sharingStats assembles the shared-scan tally — the host manager's flush
 // counters plus the page dedup counters summed over the operator nodes —
 // or nil when sharing is off.
+// rebalanceReport snapshots the membership controller's history (nil when
+// elasticity is off).
+func (m *Machine) rebalanceReport() *rebalance.Report {
+	if m.Rebalancer == nil {
+		return nil
+	}
+	r := m.Rebalancer.Report()
+	return &r
+}
+
 func (m *Machine) sharingStats() *exec.SharingStats {
 	if m.Host.Shared == nil {
 		return nil

@@ -7,6 +7,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/rebalance"
 	"repro/internal/rng"
 	"repro/internal/serve"
 	"repro/internal/sim"
@@ -80,6 +81,10 @@ type ServeResult struct {
 	// armed: with an open arrival process, batching rides the offered
 	// load's natural burstiness.
 	Sharing *exec.SharingStats `json:"sharing,omitempty"`
+	// Rebalance is the membership controller's history when Config.Elastic
+	// is armed: every executed (or refused) transition with its staging,
+	// copy and cutover timestamps plus the data volume moved.
+	Rebalance *rebalance.Report `json:"rebalance,omitempty"`
 }
 
 // String renders the headline numbers.
@@ -164,5 +169,6 @@ func (m *Machine) RunServe(mix workload.Mix, spec ServeSpec) (ServeResult, error
 		out.HotFragments = out.Heat.HotFragments()
 	}
 	out.Sharing = m.sharingStats()
+	out.Rebalance = m.rebalanceReport()
 	return out, nil
 }

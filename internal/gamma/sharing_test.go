@@ -2,7 +2,6 @@ package gamma
 
 import (
 	"reflect"
-	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -30,13 +29,22 @@ func TestSharingOffByDefault(t *testing.T) {
 	}
 }
 
-func TestSharingRejectsDegradedMode(t *testing.T) {
+// Sharing composes with degraded-mode scheduling (attempt-tagged batches):
+// a machine with both armed builds, runs, and still answers correctly.
+func TestSharingComposesWithDegradedMode(t *testing.T) {
 	rel := smallRelation(t, 0)
 	cfg := smallConfig().With(WithSharing(SharingSpec{}), WithChainedReplicas())
 	pl := rangePlacement(rel, cfg)
-	if _, err := Build(rel, pl, cfg); err == nil ||
-		!strings.Contains(err.Error(), "legacy scheduler") {
-		t.Fatalf("Build(sharing+replicas) err = %v, want legacy-scheduler error", err)
+	m, err := Build(rel, pl, cfg)
+	if err != nil {
+		t.Fatalf("Build(sharing+replicas) err = %v, want composed build to succeed", err)
+	}
+	res, err := m.Run(workload.LowLow(rel.Cardinality()), RunSpec{MPL: 4, WarmupQueries: 5, MeasureQueries: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sharing == nil || res.Sharing.Batches == 0 {
+		t.Fatalf("sharing stats = %+v, want flushed batches under degraded mode", res.Sharing)
 	}
 }
 

@@ -1,0 +1,53 @@
+package rebalance
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// nopIO is free page I/O for hot-path measurements (also used by the
+// alloc guard, which is excluded under -race).
+type nopIO struct{}
+
+func (nopIO) ReadPage(p *sim.Proc, node, page int) error  { return nil }
+func (nopIO) WritePage(p *sim.Proc, node, page int) error { return nil }
+
+// BenchmarkMigrationStep measures the copier's per-page cost (throttle
+// hold + IO dispatch + counter bookkeeping) with an instantaneous rate so
+// the sim clock, not the budget, bounds throughput.
+func BenchmarkMigrationStep(b *testing.B) {
+	eng := sim.New()
+	cp := &Copier{IO: nopIO{}, RatePagesPerSec: 1 << 30, PageBytes: 8192}
+	moves := make([]TupleMove, 64)
+	for i := range moves {
+		moves[i] = TupleMove{Src: 0, Dst: 1, SrcPage: i, DstPage: i}
+	}
+	plan := BuildPlan(moves)
+	pages := plan.Pages()
+	eng.Spawn("bench", func(p *sim.Proc) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i += pages {
+			if err := cp.Run(p, plan); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if err := eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkBuildPlan measures planning cost for a 1000-tuple transition.
+func BenchmarkBuildPlan(b *testing.B) {
+	moves := make([]TupleMove, 1000)
+	for i := range moves {
+		moves[i] = TupleMove{Src: i % 8, Dst: 8 + i%8, SrcPage: i / 4, DstPage: i / 4}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p := BuildPlan(moves); p.Tuples != 1000 {
+			b.Fatal("bad plan")
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package rebalance
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Executor is the machine-layer surface a transition drives. Prepare
+// stages the complete next-generation layout (fragments, indexes, chain
+// backups) without disturbing the serving generation and returns the
+// page-move plan whose I/O the copier will charge; Cutover atomically
+// installs the staged generation on every node and the host. Both run on
+// the controller's process, so implementations may rely on run-to-
+// completion semantics between sim yields.
+type Executor interface {
+	Prepare(t Transition) (Plan, error)
+	Cutover(t Transition)
+}
+
+// TaskReport records one executed (or refused) transition.
+type TaskReport struct {
+	Kind    string `json:"kind"`
+	Node    int    `json:"node"`
+	Gen     int    `json:"gen"`
+	Members []int  `json:"members"`
+	// PlannedAt is the scheduled offset (for repairs, the promotion time);
+	// StartedAt is when the controller began staging, CopiedAt when the
+	// background copy drained, CutoverAt when the new generation took over.
+	PlannedAt  sim.Duration `json:"planned_at"`
+	StartedAt  sim.Duration `json:"started_at"`
+	CopiedAt   sim.Duration `json:"copied_at"`
+	CutoverAt  sim.Duration `json:"cutover_at"`
+	Tuples     int          `json:"tuples"`
+	ReadPages  int          `json:"read_pages"`
+	WritePages int          `json:"write_pages"`
+	Bytes      int64        `json:"bytes"`
+	Err        string       `json:"err,omitempty"`
+}
+
+// Rebalance is the time from plan to cutover (zero for refused tasks).
+func (t TaskReport) Rebalance() sim.Duration {
+	if t.Err != "" && t.CutoverAt == 0 {
+		return 0
+	}
+	return t.CutoverAt - t.PlannedAt
+}
+
+// Report aggregates a run's membership history.
+type Report struct {
+	Tasks       []TaskReport `json:"tasks,omitempty"`
+	Tuples      int          `json:"tuples"`
+	ReadPages   int          `json:"read_pages"`
+	WritePages  int          `json:"write_pages"`
+	BytesMoved  int64        `json:"bytes_moved"`
+	PagesCopied int64        `json:"pages_copied"`
+	Errors      int64        `json:"errors"`
+}
+
+// MaxRebalance reports the slowest transition's plan-to-cutover time.
+func (r Report) MaxRebalance() sim.Duration {
+	var max sim.Duration
+	for _, t := range r.Tasks {
+		if d := t.Rebalance(); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Summary renders the one-line digest CI smoke tests grep for.
+func (r Report) Summary() string {
+	counts := map[string]int{}
+	for _, t := range r.Tasks {
+		counts[t.Kind]++
+	}
+	return fmt.Sprintf(
+		"rebalance summary: tasks=%d join=%d leave=%d decommission=%d repair=%d tuples=%d pages=%d bytes=%d max_ttr=%v errors=%d",
+		len(r.Tasks), counts["join"], counts["leave"], counts["decommission"], counts["repair"],
+		r.Tuples, r.ReadPages+r.WritePages, r.BytesMoved, r.MaxRebalance(), r.Errors)
+}
+
+// Controller walks a validated Schedule on the sim clock, executing each
+// membership change as stage → throttled copy → cutover, and accepts
+// asynchronous repair requests (promoted permanent node crashes) between
+// and after planned events. It is a single sequential process, so at most
+// one transition is in flight at a time and the whole run is deterministic.
+type Controller struct {
+	eng      *sim.Engine
+	sched    Schedule
+	exec     Executor
+	copier   *Copier
+	members  []int
+	standbys []int
+	gen      int
+	repairs  *sim.Mailbox[repairReq]
+	rep      Report
+	refusals int64
+}
+
+type repairReq struct {
+	node int
+	at   sim.Duration
+}
+
+// NewController builds a controller over an initial membership of
+// [0, initial) with the given standby physical ids (assigned to Join
+// events in schedule order). The schedule must already be Validated.
+func NewController(eng *sim.Engine, sched Schedule, initial int, standbys []int, ex Executor, cp *Copier) *Controller {
+	members := make([]int, initial)
+	for i := range members {
+		members[i] = i
+	}
+	return &Controller{
+		eng:      eng,
+		sched:    sched,
+		exec:     ex,
+		copier:   cp,
+		members:  members,
+		standbys: standbys,
+		repairs:  sim.NewMailbox[repairReq](eng, "rebalance.repairs"),
+	}
+}
+
+func (c *Controller) now() sim.Duration { return sim.Duration(c.eng.Now()) }
+
+// Members returns the current membership in slot order.
+func (c *Controller) Members() []int { return c.members }
+
+// Gen returns the current placement generation.
+func (c *Controller) Gen() int { return c.gen }
+
+// Copier exposes the live copy counters for telemetry probes.
+func (c *Controller) Copier() *Copier { return c.copier }
+
+// Report returns the membership history accumulated so far.
+func (c *Controller) Report() Report { return c.rep }
+
+// RequestRepair promotes a permanent node failure into an unplanned
+// removal. Safe to call from event callbacks (the fault injector's apply
+// hook); requests for nodes that are no longer members are ignored when
+// drained.
+func (c *Controller) RequestRepair(node int) {
+	c.repairs.Put(repairReq{node: node, at: c.now()})
+}
+
+// Start spawns the controller process.
+func (c *Controller) Start() {
+	c.eng.Spawn("rebalance.controller", c.run)
+}
+
+func (c *Controller) run(p *sim.Proc) {
+	nextStandby := 0
+	for _, ev := range c.sched.Events {
+		// Serve repair requests that arrive before the next planned event.
+		for {
+			wait := ev.At - c.now()
+			if wait <= 0 {
+				break
+			}
+			req, ok := c.repairs.GetTimeout(p, wait)
+			if !ok {
+				break // deadline: the planned event is due
+			}
+			c.repair(p, req)
+		}
+		node := ev.Node
+		if ev.Kind == Join {
+			node = c.standbys[nextStandby]
+			nextStandby++
+		}
+		c.transition(p, ev.At, ev.Kind, node)
+	}
+	for {
+		req, ok := c.repairs.Recv(p)
+		if !ok {
+			return
+		}
+		c.repair(p, req)
+	}
+}
+
+func (c *Controller) repair(p *sim.Proc, req repairReq) {
+	if !c.isMember(req.node) {
+		return // already repaired or was never serving
+	}
+	c.transition(p, req.at, Repair, req.node)
+}
+
+func (c *Controller) isMember(node int) bool {
+	for _, m := range c.members {
+		if m == node {
+			return true
+		}
+	}
+	return false
+}
+
+// transition executes one membership change end to end. A Prepare failure
+// (e.g. a strategy that cannot build at the new node count, or refusing to
+// shrink to zero members) leaves membership and generation untouched and
+// records the refusal on the report.
+func (c *Controller) transition(p *sim.Proc, plannedAt sim.Duration, kind EventKind, node int) {
+	task := TaskReport{
+		Kind:      kind.String(),
+		Node:      node,
+		PlannedAt: plannedAt,
+		StartedAt: c.now(),
+	}
+	var members []int
+	switch kind {
+	case Join:
+		members = append(append([]int(nil), c.members...), node)
+	default:
+		if len(c.members) == 1 {
+			task.Err = "cannot remove the last member"
+			task.Gen = c.gen
+			task.Members = sortedCopy(c.members)
+			c.record(task)
+			return
+		}
+		members = removeMember(c.members, node)
+	}
+	t := Transition{Gen: c.gen + 1, Kind: kind, Node: node, Members: members}
+	plan, err := c.exec.Prepare(t)
+	if err != nil {
+		task.Err = err.Error()
+		task.Gen = c.gen
+		task.Members = sortedCopy(c.members)
+		c.record(task)
+		return
+	}
+	if cerr := c.copier.Run(p, plan); cerr != nil && task.Err == "" {
+		task.Err = cerr.Error()
+	}
+	task.CopiedAt = c.now()
+	c.exec.Cutover(t)
+	task.CutoverAt = c.now()
+	c.gen = t.Gen
+	c.members = members
+	task.Gen = t.Gen
+	task.Members = sortedCopy(members)
+	task.Tuples = plan.Tuples
+	task.ReadPages = plan.ReadPages
+	task.WritePages = plan.WritePages
+	task.Bytes = int64(plan.WritePages) * int64(c.copier.PageBytes)
+	c.record(task)
+}
+
+func (c *Controller) record(task TaskReport) {
+	c.rep.Tasks = append(c.rep.Tasks, task)
+	c.rep.Tuples += task.Tuples
+	c.rep.ReadPages += task.ReadPages
+	c.rep.WritePages += task.WritePages
+	c.rep.BytesMoved += task.Bytes
+	if task.Err != "" && task.CutoverAt == 0 {
+		c.refusals++
+	}
+	c.rep.PagesCopied = c.copier.PagesCopied
+	c.rep.Errors = c.copier.Errors + c.refusals
+}

@@ -1,0 +1,109 @@
+package rebalance
+
+import "sort"
+
+// PageRef addresses one physical page on one node's disk.
+type PageRef struct {
+	Node int `json:"node"`
+	Page int `json:"page"`
+}
+
+// TupleMove is the planner's input granule: one tuple whose physical home
+// changes, with the page holding its readable copy (normally the old
+// primary; the machine layer substitutes the chain-backup holder when the
+// source node is down) and the staged page it lands on.
+type TupleMove struct {
+	Src, Dst         int // physical nodes
+	SrcPage, DstPage int // physical pages on those disks
+}
+
+// Move aggregates all data flowing between one (source, destination) node
+// pair: the deduplicated source pages to read and staged destination pages
+// to write, each in ascending page order.
+type Move struct {
+	Src    int       `json:"src"`
+	Dst    int       `json:"dst"`
+	Tuples int       `json:"tuples"`
+	Reads  []PageRef `json:"-"`
+	Writes []PageRef `json:"-"`
+}
+
+// Plan is a complete move plan for one transition.
+type Plan struct {
+	Moves      []Move `json:"moves,omitempty"`
+	Tuples     int    `json:"tuples"`
+	ReadPages  int    `json:"read_pages"`
+	WritePages int    `json:"write_pages"`
+}
+
+// Pages reports the total page I/O the plan performs.
+func (p Plan) Pages() int { return p.ReadPages + p.WritePages }
+
+// BuildPlan groups per-tuple moves into the minimal page-granular plan:
+// one Move per (src, dst) pair with each distinct source page read once
+// and each distinct staged destination page written once. Moves are
+// ordered by (src, dst) and pages ascending, so the plan — and therefore
+// the copy schedule — is deterministic regardless of input order.
+func BuildPlan(tuples []TupleMove) Plan {
+	type key struct{ src, dst int }
+	type acc struct {
+		tuples int
+		reads  map[int]bool
+		writes map[int]bool
+	}
+	byPair := make(map[key]*acc)
+	for _, t := range tuples {
+		k := key{t.Src, t.Dst}
+		a := byPair[k]
+		if a == nil {
+			a = &acc{reads: make(map[int]bool), writes: make(map[int]bool)}
+			byPair[k] = a
+		}
+		a.tuples++
+		a.reads[t.SrcPage] = true
+		a.writes[t.DstPage] = true
+	}
+	keys := make([]key, 0, len(byPair))
+	for k := range byPair {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].src != keys[j].src {
+			return keys[i].src < keys[j].src
+		}
+		return keys[i].dst < keys[j].dst
+	})
+	plan := Plan{Tuples: len(tuples)}
+	for _, k := range keys {
+		a := byPair[k]
+		mv := Move{Src: k.src, Dst: k.dst, Tuples: a.tuples}
+		mv.Reads = sortedPages(k.src, a.reads)
+		mv.Writes = sortedPages(k.dst, a.writes)
+		plan.ReadPages += len(mv.Reads)
+		plan.WritePages += len(mv.Writes)
+		plan.Moves = append(plan.Moves, mv)
+	}
+	return plan
+}
+
+// Merge folds another plan (e.g. a further relation's moves, or a replica
+// rebuild) into this one, keeping the aggregate counters consistent.
+func (p *Plan) Merge(q Plan) {
+	p.Moves = append(p.Moves, q.Moves...)
+	p.Tuples += q.Tuples
+	p.ReadPages += q.ReadPages
+	p.WritePages += q.WritePages
+}
+
+func sortedPages(node int, set map[int]bool) []PageRef {
+	pages := make([]int, 0, len(set))
+	for pg := range set {
+		pages = append(pages, pg)
+	}
+	sort.Ints(pages)
+	out := make([]PageRef, len(pages))
+	for i, pg := range pages {
+		out[i] = PageRef{Node: node, Page: pg}
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+// Package rebalance implements elastic cluster membership for the
+// simulated Gamma machine: planned node joins, leaves and decommissions on
+// the simulation clock, promotion of permanent node failures into repair
+// tasks, minimal fragment-move planning, and throttled background copy
+// execution. The package is deliberately machine-agnostic — it computes
+// and executes page-granular move plans through two small interfaces (IO
+// for page reads/writes, Executor for staging and cutover) that the
+// machine-assembly layer (internal/gamma) implements, keeping the
+// dependency arrow pointing into here exactly as internal/fault does.
+//
+// Correctness model: every transition stages a complete next-generation
+// layout first (old placement keeps serving), copies only the pages whose
+// tuples change physical homes as throttled background I/O competing with
+// foreground queries, and then performs one atomic cutover on the sim
+// clock — the dual-read epoch in exec.Host lets queries submitted before
+// the cutover finish against the previous generation.
+package rebalance
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// EventKind enumerates membership changes.
+type EventKind int
+
+const (
+	// Join adds a standby node to the membership and rebalances fragments
+	// onto it. Standby physical ids are assigned by the machine builder in
+	// event order (the first Join gets the first standby).
+	Join EventKind = iota
+	// Leave removes a member after its data has been rebalanced away; the
+	// node stays powered (it can still serve in-flight old-generation
+	// reads and could later rejoin).
+	Leave
+	// Decommission is Leave plus retirement: the node is withdrawn from
+	// the serving set permanently once the cutover drains.
+	Decommission
+	// Repair is not schedulable — the controller synthesizes it when a
+	// permanent node crash is promoted into an unplanned removal, with
+	// copy sources falling back to chain-backup replicas.
+	Repair
+)
+
+var kindNames = [...]string{
+	Join:         "join",
+	Leave:        "leave",
+	Decommission: "decommission",
+	Repair:       "repair",
+}
+
+func (k EventKind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Event is one planned membership change.
+type Event struct {
+	// At is the offset from the start of the run.
+	At sim.Duration `json:"at"`
+	// Kind is the membership change.
+	Kind EventKind `json:"kind"`
+	// Node identifies the member to remove (Leave/Decommission). For Join
+	// events the field is ignored: the machine builder assigns standby
+	// physical ids in event order.
+	Node int `json:"node"`
+}
+
+// Schedule is the planned part of a run's membership history.
+type Schedule struct {
+	Events []Event `json:"events,omitempty"`
+}
+
+// Validate simulates the schedule against an initial membership of
+// [0, initial) and rejects events that would remove an absent member or
+// shrink the cluster to nothing. Join targets are assigned by the builder,
+// so only removal targets are checked.
+func (s Schedule) Validate(initial int) error {
+	if initial <= 0 {
+		return fmt.Errorf("rebalance: initial membership must be positive, got %d", initial)
+	}
+	members := make(map[int]bool, initial)
+	for i := 0; i < initial; i++ {
+		members[i] = true
+	}
+	next := initial
+	var last sim.Duration
+	for i, ev := range s.Events {
+		if ev.At < 0 {
+			return fmt.Errorf("rebalance: event %d: negative offset %v", i, ev.At)
+		}
+		if ev.At < last {
+			return fmt.Errorf("rebalance: event %d at %v precedes event %d at %v; sort the schedule",
+				i, ev.At, i-1, last)
+		}
+		last = ev.At
+		switch ev.Kind {
+		case Join:
+			members[next] = true
+			next++
+		case Leave, Decommission:
+			if !members[ev.Node] {
+				return fmt.Errorf("rebalance: event %d removes node %d, which is not a member", i, ev.Node)
+			}
+			if len(members) == 1 {
+				return fmt.Errorf("rebalance: event %d would remove the last member", i)
+			}
+			delete(members, ev.Node)
+		default:
+			return fmt.Errorf("rebalance: event %d: kind %v is not schedulable", i, ev.Kind)
+		}
+	}
+	return nil
+}
+
+// Joins reports the number of Join events — the standby node count the
+// machine builder must provision.
+func (s Schedule) Joins() int {
+	n := 0
+	for _, ev := range s.Events {
+		if ev.Kind == Join {
+			n++
+		}
+	}
+	return n
+}
+
+// Transition describes one membership change the controller asks the
+// machine layer to execute: the generation the cutover installs and the
+// physical members after the change, in slot order (slot i of the new
+// placement lives on Members[i]).
+type Transition struct {
+	Gen     int       `json:"gen"`
+	Kind    EventKind `json:"kind"`
+	Node    int       `json:"node"`
+	Members []int     `json:"members"`
+}
+
+// removeMember returns members without node, preserving slot order.
+func removeMember(members []int, node int) []int {
+	out := make([]int, 0, len(members)-1)
+	for _, m := range members {
+		if m != node {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// sortedCopy returns a sorted copy (canonical member order for reports).
+func sortedCopy(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}

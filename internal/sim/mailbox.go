@@ -154,23 +154,29 @@ func (m *Mailbox[T]) GetTimeout(p *Proc, d Duration) (T, bool) {
 		return zero, false
 	}
 	timedOut := false
+	armed := true
 	m.eng.Schedule(d, func() {
-		// Fire only if p is still parked in this mailbox's waiter ring.
-		// Removing it before waking means a concurrent Put can no longer
-		// pop (and wake) the same slot — exactly one waker wins.
-		if m.removeWaiter(p) {
+		// Fire only while this call is still blocked (a call that returned
+		// early on a message disarms the timer — otherwise the stale timer
+		// would pull p out of a later GetTimeout's waiter slot and eat that
+		// call's wake-up) and only if p is still parked in this mailbox's
+		// waiter ring. Removing it before waking means a concurrent Put can
+		// no longer pop (and wake) the same slot — exactly one waker wins.
+		if armed && m.removeWaiter(p) {
 			timedOut = true
 			m.eng.Wake(p)
 		}
 	})
 	for m.count == 0 && !timedOut {
 		if m.closed {
+			armed = false
 			var zero T
 			return zero, false
 		}
 		m.addWaiter(p)
 		p.Park()
 	}
+	armed = false
 	if m.count > 0 {
 		return m.pop(), true
 	}

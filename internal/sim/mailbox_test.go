@@ -253,3 +253,38 @@ func TestWaitTimeoutAlreadyFired(t *testing.T) {
 		t.Fatal("pre-fired trigger reported timeout")
 	}
 }
+
+// A GetTimeout that returns early on a message must disarm its deadline
+// timer: the stale timer used to pull the proc out of a *later*
+// GetTimeout's waiter slot at the exact instant that call's own timer was
+// due, so neither fired and the proc parked forever.
+func TestGetTimeoutStaleTimerDoesNotStealLaterWait(t *testing.T) {
+	e := New()
+	mb := NewMailbox[int](e, "stale")
+	var got []int
+	var timeoutAt Time
+	e.Spawn("waiter", func(p *Proc) {
+		// First wait: 10ms deadline, message arrives at 2ms.
+		if v, ok := mb.GetTimeout(p, 10*Millisecond); !ok || v != 1 {
+			t.Errorf("first GetTimeout = %d, %v", v, ok)
+		} else {
+			got = append(got, v)
+		}
+		// Second wait: its own deadline lands at 10ms — the same instant
+		// the first call's stale timer fires. It must still time out.
+		if _, ok := mb.GetTimeout(p, 8*Millisecond); ok {
+			t.Error("second GetTimeout delivered a message from nowhere")
+		}
+		timeoutAt = p.Now()
+	})
+	e.Schedule(2*Millisecond, func() { mb.Put(1) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("messages received = %v, want [1]", got)
+	}
+	if timeoutAt != 10*Time(Millisecond) {
+		t.Fatalf("second wait resumed at %v, want the 10ms deadline", timeoutAt)
+	}
+}
